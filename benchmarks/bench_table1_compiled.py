@@ -1,0 +1,62 @@
+"""Table 1, "Compiled Circuits" block (experiment T1a in DESIGN.md).
+
+One benchmark per (circuit, configuration, method) cell: verification of
+compilation to the 65-qubit heavy-hex device, with the combined DD
+strategy (QCEC stand-in) and the ZX strategy (PyZX stand-in), in the
+equivalent / one-gate-missing / flipped-CNOT configurations.
+
+Run:  pytest benchmarks/bench_table1_compiled.py --benchmark-only
+Full table with the paper's row layout:  python -m repro.bench.study
+"""
+
+import pytest
+
+from benchmarks.conftest import error_variant, run_check
+from repro.ec.results import Equivalence
+
+BENCHMARKS = [
+    "ghz_16", "graphstate_12", "qft_6", "qpe_exact_5", "grover_4",
+    "randomwalk_3",
+]
+
+POSITIVE = (
+    Equivalence.EQUIVALENT,
+    Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+    Equivalence.PROBABLY_EQUIVALENT,
+)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+@pytest.mark.parametrize("method", ["dd", "zx"])
+class TestTable1Compiled:
+    def test_equivalent(self, benchmark, compiled_pairs, name, method):
+        original, compiled = compiled_pairs[name]
+        strategy = "combined" if method == "dd" else "zx"
+        result = benchmark.pedantic(
+            run_check, args=(original, compiled, strategy), rounds=1
+        )
+        assert result.equivalence in POSITIVE
+
+    def test_gate_missing(self, benchmark, compiled_pairs, name, method):
+        original, compiled = compiled_pairs[name]
+        broken = error_variant(compiled, "gate_missing")
+        strategy = "combined" if method == "dd" else "zx"
+        result = benchmark.pedantic(
+            run_check, args=(original, broken, strategy), rounds=1
+        )
+        if method == "dd":
+            assert result.equivalence is Equivalence.NOT_EQUIVALENT
+        else:
+            assert result.equivalence not in POSITIVE
+
+    def test_flipped_cnot(self, benchmark, compiled_pairs, name, method):
+        original, compiled = compiled_pairs[name]
+        broken = error_variant(compiled, "flipped_cnot")
+        strategy = "combined" if method == "dd" else "zx"
+        result = benchmark.pedantic(
+            run_check, args=(original, broken, strategy), rounds=1
+        )
+        if method == "dd":
+            assert result.equivalence is Equivalence.NOT_EQUIVALENT
+        else:
+            assert result.equivalence not in POSITIVE

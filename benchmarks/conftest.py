@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Expensive circuit construction is cached at
+session scope; the equivalence checks themselves run under
+``benchmark.pedantic`` with a single round, because a check is a one-shot
+end-to-end measurement, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import algorithms, reversible
+from repro.bench.errors import flip_random_cnot, remove_random_gate
+from repro.compile import compile_circuit, manhattan_architecture
+from repro.compile.decompose import decompose_to_basis
+from repro.compile.optimize import optimize_circuit
+from repro.ec import Configuration, EquivalenceCheckingManager
+
+
+def run_check(circuit1, circuit2, strategy, **config_kwargs):
+    """One equivalence check; returns the result (for sanity assertions)."""
+    config = Configuration(strategy=strategy, seed=0, **config_kwargs)
+    return EquivalenceCheckingManager(circuit1, circuit2, config).run()
+
+
+@pytest.fixture(scope="session")
+def manhattan():
+    return manhattan_architecture()
+
+
+@pytest.fixture(scope="session")
+def compiled_pairs(manhattan):
+    """(original, compiled) pairs — the 'Compiled Circuits' use-case."""
+    originals = {
+        "ghz_16": algorithms.ghz_state(16),
+        "graphstate_12": algorithms.graph_state(12, seed=0),
+        "qft_6": algorithms.qft(6),
+        "qpe_exact_5": algorithms.qpe_exact(5),
+        "grover_4": algorithms.grover(4),
+        "randomwalk_3": algorithms.quantum_random_walk(3, steps=2),
+    }
+    return {
+        name: (circuit, compile_circuit(circuit, manhattan))
+        for name, circuit in originals.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def optimized_pairs():
+    """(original, optimized) pairs — the 'Optimized Circuits' use-case."""
+    originals = {
+        "urf_5": reversible.synthesize(
+            reversible.random_reversible_function(5, seed=1)
+        ),
+        "plus13mod64": reversible.synthesize(
+            reversible.plus_constant_mod(6, 13)
+        ),
+        "hwb_5": reversible.synthesize(reversible.hidden_weighted_bit(5)),
+        "grover_4": algorithms.grover(4),
+        "qft_6": algorithms.qft(6),
+        "randomwalk_3": algorithms.quantum_random_walk(3, steps=2),
+    }
+    return {
+        name: (
+            circuit,
+            optimize_circuit(decompose_to_basis(circuit), level=2),
+        )
+        for name, circuit in originals.items()
+    }
+
+
+def error_variant(circuit, kind: str, seed: int = 0):
+    if kind == "gate_missing":
+        return remove_random_gate(circuit, seed=seed)
+    if kind == "flipped_cnot":
+        return flip_random_cnot(circuit, seed=seed)
+    raise ValueError(kind)

@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment has no `wheel` package, so PEP 517
+editable installs are unavailable; `pip install -e . --no-use-pep517` uses
+this file instead)."""
+
+from setuptools import setup
+
+setup()

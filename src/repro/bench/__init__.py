@@ -1,0 +1,65 @@
+"""Benchmarks and the case-study harness.
+
+* :mod:`repro.bench.algorithms` — the quantum-algorithm circuits of the
+  paper's Table 1 (GHZ, graph states, QFT, QPE, Grover, quantum random
+  walk) plus supporting generators,
+* :mod:`repro.bench.reversible` — the RevLib-style reversible-circuit
+  substrate: truth-table functions synthesized to multi-controlled-Toffoli
+  netlists via transformation-based synthesis,
+* :mod:`repro.bench.errors` — the error-injection models ("one with a
+  random gate removed and one where the control and target of one CNOT
+  gate has been swapped"),
+* :mod:`repro.bench.suite` — benchmark-instance construction for both
+  use-cases (compiled / optimized),
+* :mod:`repro.bench.study` — the harness regenerating Table 1.
+"""
+
+from repro.bench.algorithms import (
+    bernstein_vazirani,
+    cuccaro_adder,
+    deutsch_jozsa,
+    ghz_state,
+    graph_state,
+    grover,
+    qft,
+    qpe_exact,
+    quantum_random_walk,
+    random_clifford_t,
+    simon,
+    vqe_ansatz,
+    w_state,
+)
+from repro.bench.artifacts import export_benchmarks, load_benchmark_pair
+from repro.bench.reversible import (
+    ReversibleFunction,
+    hidden_weighted_bit,
+    plus_constant_mod,
+    random_reversible_function,
+    synthesize,
+)
+from repro.bench.errors import flip_random_cnot, remove_random_gate
+
+__all__ = [
+    "ReversibleFunction",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "deutsch_jozsa",
+    "export_benchmarks",
+    "load_benchmark_pair",
+    "random_clifford_t",
+    "simon",
+    "vqe_ansatz",
+    "flip_random_cnot",
+    "ghz_state",
+    "graph_state",
+    "grover",
+    "hidden_weighted_bit",
+    "plus_constant_mod",
+    "qft",
+    "qpe_exact",
+    "quantum_random_walk",
+    "random_reversible_function",
+    "remove_random_gate",
+    "synthesize",
+    "w_state",
+]

@@ -1,0 +1,375 @@
+"""Generators for the quantum-algorithm benchmarks of the case study.
+
+These are the "selection of common quantum circuits" of Section 6.1:
+GHZ state preparation, graph states, the Quantum Fourier Transform,
+(exact) Quantum Phase Estimation, Grover's algorithm and the quantum
+random walk — plus a few standard extras (W state, Bernstein-Vazirani,
+a Cuccaro ripple-carry adder) used by the wider test and example suite.
+
+All generators return plain :class:`~repro.circuit.circuit.QuantumCircuit`
+objects at parameterizable sizes; the case-study harness instantiates them
+at sizes scaled to pure-Python engine speed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+
+_PI = math.pi
+
+
+def ghz_state(num_qubits: int, linear: bool = True) -> QuantumCircuit:
+    """GHZ state preparation (paper Fig. 1a generalized).
+
+    ``linear=True`` chains the CNOTs (``cx(i, i+1)``), which routes well;
+    ``linear=False`` fans out from qubit 0 as in Fig. 1a.
+    """
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(1, num_qubits):
+        circuit.cx(q - 1 if linear else 0, q)
+    return circuit
+
+
+def graph_state(
+    num_qubits: int,
+    edges: Optional[Iterable[Tuple[int, int]]] = None,
+    seed: Optional[int] = None,
+    degree: int = 3,
+) -> QuantumCircuit:
+    """Graph-state preparation: H on every qubit, CZ per graph edge.
+
+    Without explicit ``edges`` a random ``degree``-regular-ish graph is
+    generated (a ring plus random chords), seeded for reproducibility.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"graphstate_{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    if edges is None:
+        rng = random.Random(seed)
+        edge_set = {(q, (q + 1) % num_qubits) for q in range(num_qubits)}
+        target_edges = max(num_qubits, num_qubits * degree // 2)
+        attempts = 0
+        while len(edge_set) < target_edges and attempts < 10 * target_edges:
+            a, b = rng.sample(range(num_qubits), 2)
+            edge_set.add((min(a, b), max(a, b)))
+            attempts += 1
+        edges = sorted(
+            (min(a, b), max(a, b)) for a, b in edge_set if a != b
+        )
+    for a, b in edges:
+        circuit.cz(a, b)
+    return circuit
+
+
+def qft(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """The Quantum Fourier Transform with controlled-phase cascades."""
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for k, control in enumerate(reversed(range(target)), start=2):
+            circuit.cp(2 * _PI / (1 << k), control, target)
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def inverse_qft(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """The inverse QFT (used by phase estimation)."""
+    circuit = qft(num_qubits, with_swaps).inverse()
+    circuit.name = f"iqft_{num_qubits}"
+    return circuit
+
+
+def qpe_exact(
+    precision_qubits: int, phase: Optional[float] = None
+) -> QuantumCircuit:
+    """Quantum Phase Estimation of a phase gate with an *exact* phase.
+
+    The estimated phase has an exact ``precision_qubits``-bit binary
+    expansion (default ``1 / 2^n + 1 / 2``), so the counting register ends
+    in a computational basis state — the QPE-Exact configuration of the
+    paper's Table 1.  The eigenstate qubit is the last one, prepared in
+    ``|1>``.
+    """
+    n = precision_qubits
+    if phase is None:
+        phase = 0.5 + 1.0 / (1 << n)
+    circuit = QuantumCircuit(n + 1, name=f"qpe_exact_{n}")
+    eigen = n
+    circuit.x(eigen)
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        # counting qubit q controls U^(2^q) with U = P(2 pi phase)
+        circuit.cp(2 * _PI * phase * (1 << q), q, eigen)
+    for op in inverse_qft(n):
+        circuit.append(op)  # acts on the counting register 0..n-1
+    return circuit
+
+
+def grover(
+    search_qubits: int,
+    marked: Optional[int] = None,
+    iterations: Optional[int] = None,
+) -> QuantumCircuit:
+    """Grover's search with a phase oracle marking one basis state.
+
+    The oracle is a multi-controlled Z on the bit pattern of ``marked``
+    (default: the all-ones state); the diffusion operator is the standard
+    ``H X (MCZ) X H`` construction — both are the "large reversible parts"
+    the paper credits for the DD advantage on Grover instances.
+    """
+    n = search_qubits
+    if marked is None:
+        marked = (1 << n) - 1
+    if not 0 <= marked < (1 << n):
+        raise ValueError("marked state out of range")
+    if iterations is None:
+        iterations = max(1, int(round(_PI / 4 * math.sqrt(2**n))))
+    circuit = QuantumCircuit(n, name=f"grover_{n}")
+    for q in range(n):
+        circuit.h(q)
+    for _ in range(iterations):
+        _append_phase_oracle(circuit, n, marked)
+        # diffusion
+        for q in range(n):
+            circuit.h(q)
+        for q in range(n):
+            circuit.x(q)
+        circuit.mcz(list(range(n - 1)), n - 1)
+        for q in range(n):
+            circuit.x(q)
+        for q in range(n):
+            circuit.h(q)
+    return circuit
+
+
+def _append_phase_oracle(
+    circuit: QuantumCircuit, n: int, marked: int
+) -> None:
+    """Phase-flip the basis state ``marked`` via X-conjugated MCZ."""
+    zeros = [q for q in range(n) if not (marked >> q) & 1]
+    for q in zeros:
+        circuit.x(q)
+    circuit.mcz(list(range(n - 1)), n - 1)
+    for q in zeros:
+        circuit.x(q)
+
+
+def quantum_random_walk(
+    position_qubits: int, steps: int = 4
+) -> QuantumCircuit:
+    """Discrete-time quantum random walk on a cycle of ``2^p`` nodes.
+
+    One coin qubit (index ``p``) drives controlled increment / decrement
+    cascades of multi-controlled Toffolis on the position register — the
+    circuit family of the paper's Random-Walk rows, dominated by large
+    reversible parts.
+    """
+    p = position_qubits
+    coin = p
+    circuit = QuantumCircuit(p + 1, name=f"randomwalk_{p}_{steps}")
+    for _ in range(steps):
+        circuit.h(coin)
+        # coin = 1: increment position
+        for bit in reversed(range(1, p)):
+            circuit.mcx([coin] + list(range(bit)), bit)
+        circuit.cx(coin, 0)
+        # coin = 0: decrement position (conjugate increment with X's)
+        circuit.x(coin)
+        for q in range(p):
+            circuit.x(q)
+        for bit in reversed(range(1, p)):
+            circuit.mcx([coin] + list(range(bit)), bit)
+        circuit.cx(coin, 0)
+        for q in range(p):
+            circuit.x(q)
+        circuit.x(coin)
+    return circuit
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """W-state preparation via cascaded controlled rotations."""
+    n = num_qubits
+    if n < 1:
+        raise ValueError("W state needs at least one qubit")
+    circuit = QuantumCircuit(n, name=f"w_{n}")
+    circuit.x(0)
+    for k in range(1, n):
+        theta = 2 * math.acos(math.sqrt(1.0 / (n - k + 1)))
+        circuit.cry(theta, 0 if k == 1 else k - 1, k)
+        circuit.cx(k, k - 1)
+    return circuit
+
+
+def bernstein_vazirani(secret: int, num_qubits: int) -> QuantumCircuit:
+    """Bernstein-Vazirani for an ``num_qubits``-bit secret string."""
+    if not 0 <= secret < (1 << num_qubits):
+        raise ValueError("secret out of range")
+    circuit = QuantumCircuit(num_qubits + 1, name=f"bv_{num_qubits}")
+    target = num_qubits
+    circuit.x(target)
+    circuit.h(target)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits):
+        if (secret >> q) & 1:
+            circuit.cx(q, target)
+    for q in range(num_qubits):
+        circuit.h(q)
+    circuit.h(target)
+    circuit.x(target)
+    return circuit
+
+
+def cuccaro_adder(bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder: ``|a>|b> -> |a>|a+b>`` (mod ``2^bits``).
+
+    Layout: qubits ``0..bits-1`` hold ``a``, ``bits..2*bits-1`` hold ``b``,
+    and the last qubit is the carry ancilla.  A classic "oracle/adder"
+    reversible building block (paper Section 7 names adders explicitly).
+    """
+    n = bits
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    carry = 2 * n
+    circuit = QuantumCircuit(2 * n + 1, name=f"adder_{n}")
+
+    def maj(x, y, z):
+        circuit.cx(z, y)
+        circuit.cx(z, x)
+        circuit.ccx(x, y, z)
+
+    def uma(x, y, z):
+        circuit.ccx(x, y, z)
+        circuit.cx(z, x)
+        circuit.cx(x, y)
+
+    maj(carry, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    for i in reversed(range(1, n)):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry, b[0], a[0])
+    return circuit
+
+
+def deutsch_jozsa(
+    num_qubits: int, balanced: bool = True, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Deutsch-Jozsa with a constant or (random linear) balanced oracle.
+
+    The balanced oracle is a random parity function ``f(x) = a.x`` with
+    ``a != 0``; the constant oracle is ``f(x) = 0``.
+    """
+    circuit = QuantumCircuit(
+        num_qubits + 1,
+        name=f"dj_{'balanced' if balanced else 'constant'}_{num_qubits}",
+    )
+    target = num_qubits
+    circuit.x(target)
+    circuit.h(target)
+    for q in range(num_qubits):
+        circuit.h(q)
+    if balanced:
+        rng = random.Random(seed)
+        mask = rng.randrange(1, 1 << num_qubits)
+        for q in range(num_qubits):
+            if (mask >> q) & 1:
+                circuit.cx(q, target)
+    for q in range(num_qubits):
+        circuit.h(q)
+    circuit.h(target)
+    circuit.x(target)
+    return circuit
+
+
+def simon(secret: int, num_bits: int) -> QuantumCircuit:
+    """One Simon iteration for a hidden XOR mask ``secret != 0``.
+
+    Uses ``2 * num_bits`` qubits: the data register (0..n-1) and the
+    function register (n..2n-1) computing ``f(x) = x XOR (x_k ? secret : 0)``
+    with ``k`` the lowest set bit of ``secret`` — a standard two-to-one
+    function with period ``secret``.
+    """
+    if not 0 < secret < (1 << num_bits):
+        raise ValueError("secret must be a non-zero n-bit value")
+    n = num_bits
+    circuit = QuantumCircuit(2 * n, name=f"simon_{num_bits}")
+    for q in range(n):
+        circuit.h(q)
+    # copy x into the function register
+    for q in range(n):
+        circuit.cx(q, n + q)
+    # conditionally XOR the secret, controlled on the pivot bit
+    pivot = (secret & -secret).bit_length() - 1
+    for q in range(n):
+        if (secret >> q) & 1:
+            circuit.cx(pivot, n + q)
+    for q in range(n):
+        circuit.h(q)
+    return circuit
+
+
+def vqe_ansatz(
+    num_qubits: int, layers: int = 2, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """A hardware-efficient variational ansatz (RY/RZ + CX ladder).
+
+    The variational-algorithm workload the paper's introduction motivates
+    ("optimization problems, the simulation of molecules"): many arbitrary
+    rotation angles, little reversible structure — the circuit family
+    where the DD representation suffers and ZX shines (Section 6.2).
+    """
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"vqe_{num_qubits}_{layers}"
+    )
+    for _ in range(layers):
+        for q in range(num_qubits):
+            circuit.ry(rng.uniform(0, 2 * _PI), q)
+            circuit.rz(rng.uniform(0, 2 * _PI), q)
+        for q in range(num_qubits - 1):
+            circuit.cx(q, q + 1)
+    for q in range(num_qubits):
+        circuit.ry(rng.uniform(0, 2 * _PI), q)
+    return circuit
+
+
+def random_clifford_t(
+    num_qubits: int,
+    num_gates: int,
+    t_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> QuantumCircuit:
+    """Random Clifford+T circuit with a controlled T-gate density.
+
+    The knob behind the paper's observation that the number of
+    non-Clifford phases decides which paradigm profits: sweep
+    ``t_fraction`` to interpolate between pure Clifford (fully reducible
+    by the ZX Clifford ruleset) and T-heavy circuits.
+    """
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"cliffordt_{num_qubits}_{num_gates}"
+    )
+    clifford_gates = ["h", "s", "sdg", "x", "z", "cx", "cz"]
+    for _ in range(num_gates):
+        if rng.random() < t_fraction:
+            circuit.add(rng.choice(["t", "tdg"]), [rng.randrange(num_qubits)])
+        else:
+            name = rng.choice(clifford_gates)
+            if name in ("cx", "cz") and num_qubits >= 2:
+                a, b = rng.sample(range(num_qubits), 2)
+                getattr(circuit, name)(a, b)
+            elif name not in ("cx", "cz"):
+                circuit.add(name, [rng.randrange(num_qubits)])
+    return circuit

@@ -1,0 +1,58 @@
+"""Error injection for the non-equivalent benchmark configurations.
+
+Section 6.1: "two instances are created where errors are injected into one
+of the circuits — one with a random gate removed and one where the control
+and target of one CNOT gate has been swapped."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+def remove_random_gate(
+    circuit: QuantumCircuit, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Return a copy with one randomly chosen gate removed."""
+    if not len(circuit):
+        raise ValueError("cannot remove a gate from an empty circuit")
+    rng = random.Random(seed)
+    index = rng.randrange(len(circuit))
+    operations = list(circuit.operations)
+    del operations[index]
+    return QuantumCircuit(
+        circuit.num_qubits,
+        name=f"{circuit.name}_gate_missing",
+        operations=operations,
+        initial_layout=circuit.initial_layout,
+        output_permutation=circuit.output_permutation,
+    )
+
+
+def flip_random_cnot(
+    circuit: QuantumCircuit, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Return a copy with one CNOT's control and target exchanged."""
+    cnot_indices = [
+        i
+        for i, op in enumerate(circuit)
+        if op.name == "x" and len(op.controls) == 1
+    ]
+    if not cnot_indices:
+        raise ValueError("circuit contains no CNOT gate to flip")
+    rng = random.Random(seed)
+    index = rng.choice(cnot_indices)
+    operations = list(circuit.operations)
+    op = operations[index]
+    operations[index] = Operation("x", op.controls, op.targets)
+    return QuantumCircuit(
+        circuit.num_qubits,
+        name=f"{circuit.name}_flipped_cnot",
+        operations=operations,
+        initial_layout=circuit.initial_layout,
+        output_permutation=circuit.output_permutation,
+    )

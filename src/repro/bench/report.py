@@ -1,0 +1,87 @@
+"""Markdown report generation for case-study runs.
+
+Turns the rows produced by :func:`repro.bench.study.run_table` into a
+self-contained Markdown report in the layout of the paper's Table 1, with
+a verdict-correctness summary — the file EXPERIMENTS.md embeds was
+produced this way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.study import CONFIGURATIONS, TableRow
+
+_CONFIG_TITLES = {
+    "equivalent": "Equivalent",
+    "gate_missing": "1 Gate Missing",
+    "flipped_cnot": "Flipped CNOT",
+}
+
+
+def rows_to_markdown(
+    rows: List[TableRow], timeout: Optional[float], title: str = "Table 1"
+) -> str:
+    """Render study rows as a Markdown table with a correctness summary."""
+    header_cells = ["Benchmark", "n", "|G|", "|G'|"]
+    for config in CONFIGURATIONS:
+        header_cells.append(f"{_CONFIG_TITLES[config]} t_dd")
+        header_cells.append("t_zx")
+    lines = [
+        f"## {title}",
+        "",
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "---|" * len(header_cells),
+    ]
+    wrong = 0
+    unknown = 0
+    timeouts = 0
+    total = 0
+    for row in rows:
+        cells = [
+            row.name,
+            str(row.num_qubits),
+            str(row.size_original),
+            str(row.size_variant),
+        ]
+        for config in CONFIGURATIONS:
+            for method in ("dd", "zx"):
+                cell = row.cells[f"{config}/{method}"]
+                cells.append(cell.render(timeout))
+                total += 1
+                if cell.timed_out:
+                    timeouts += 1
+                elif cell.correct is False:
+                    wrong += 1
+                elif cell.correct is None:
+                    unknown += 1
+        lines.append("| " + " | ".join(cells) + " |")
+    lines += [
+        "",
+        f"Cells: seconds per check ({total} checks total); "
+        f"`>T` timeout ({timeouts}), `!` wrong verdict ({wrong}), "
+        f"`?` no information ({unknown}).",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    path,
+    rows_by_use_case,
+    timeout: Optional[float],
+    preamble: str = "",
+) -> Path:
+    """Write a full multi-use-case Markdown report to ``path``."""
+    sections = []
+    if preamble:
+        sections.append(preamble.rstrip() + "\n")
+    for use_case, rows in rows_by_use_case.items():
+        sections.append(
+            rows_to_markdown(
+                rows, timeout, title=f"{use_case.capitalize()} Circuits"
+            )
+        )
+    output = Path(path)
+    output.write_text("\n".join(sections))
+    return output

@@ -1,0 +1,183 @@
+"""RevLib-style reversible-circuit substrate.
+
+The paper's first benchmark group is "a benchmark set of reversible
+circuits (from [RevLib])" — large multi-controlled-Toffoli netlists with a
+known Boolean function.  RevLib is an external artifact archive, so this
+module rebuilds the same *function classes* from scratch:
+
+* :class:`ReversibleFunction` — a permutation of ``{0,1}^n`` as truth
+  table,
+* :func:`synthesize` — the classic transformation-based synthesis
+  algorithm of Miller, Maslov & Dueck (DAC 2003), producing an MCT circuit
+  realizing any given reversible function,
+* generators for the Table 1 stand-ins: ``urf``-like unstructured random
+  reversible functions, ``plusKmod2^n`` modular-constant adders and the
+  hidden-weighted-bit function.
+
+The synthesized circuits play the "original circuit" role of the paper's
+optimized-circuits use-case; their optimized counterparts come from
+:func:`repro.compile.optimize.optimize_circuit`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+class ReversibleFunction:
+    """A bijection on ``{0, ..., 2^n - 1}`` given as a truth table."""
+
+    def __init__(self, num_bits: int, table: Sequence[int], name: str = "rev") -> None:
+        size = 1 << num_bits
+        if len(table) != size or sorted(table) != list(range(size)):
+            raise ValueError("table is not a permutation of {0..2^n-1}")
+        self.num_bits = num_bits
+        self.table = list(table)
+        self.name = name
+
+    def __call__(self, value: int) -> int:
+        return self.table[value]
+
+    def inverse(self) -> "ReversibleFunction":
+        inverse_table = [0] * len(self.table)
+        for source, image in enumerate(self.table):
+            inverse_table[image] = source
+        return ReversibleFunction(
+            self.num_bits, inverse_table, f"{self.name}_inv"
+        )
+
+    @classmethod
+    def from_callable(cls, num_bits: int, function, name: str = "rev") -> "ReversibleFunction":
+        """Build a truth table from a Python callable on integers."""
+        return cls(num_bits, [function(x) for x in range(1 << num_bits)], name)
+
+
+def synthesize(function: ReversibleFunction) -> QuantumCircuit:
+    """Transformation-based synthesis (Miller-Maslov-Dueck, DAC 2003).
+
+    Scans inputs in increasing order and appends multi-controlled Toffolis
+    that map each output back to its input without disturbing already-fixed
+    rows; the collected gates, reversed, realize the function.  Produces
+    ``O(n 2^n)`` MCT gates — the same netlist flavour as the RevLib ``urf``
+    benchmarks.
+    """
+    n = function.num_bits
+    outputs = list(function.table)
+    gates: List[Operation] = []
+
+    def apply_mct(controls: int, target_bit: int) -> None:
+        """Record an MCT and apply it to the in-progress output table."""
+        control_bits = tuple(b for b in range(n) if (controls >> b) & 1)
+        gates.append(
+            Operation("x", (target_bit,), control_bits)
+        )
+        mask = 1 << target_bit
+        for index, value in enumerate(outputs):
+            if value & controls == controls:
+                outputs[index] = value ^ mask
+
+    # Fix f(0) = 0 with uncontrolled NOTs.
+    for bit in range(n):
+        if (outputs[0] >> bit) & 1:
+            apply_mct(0, bit)
+    for i in range(1, 1 << n):
+        y = outputs[i]
+        if y == i:
+            continue
+        # Turn on bits of i missing in y; controls on the 1-bits of y keep
+        # all already-fixed rows j < i <= y untouched.
+        missing = i & ~y
+        for bit in range(n):
+            if (missing >> bit) & 1:
+                apply_mct(outputs[i], bit)
+        # Turn off surplus bits of y; controls on the 1-bits of i.
+        surplus = outputs[i] & ~i
+        for bit in range(n):
+            if (surplus >> bit) & 1:
+                apply_mct(i, bit)
+        assert outputs[i] == i
+    circuit = QuantumCircuit(n, name=f"{function.name}_{n}")
+    for gate in reversed(gates):
+        circuit.append(gate)
+    return circuit
+
+
+def circuit_truth_table(circuit: QuantumCircuit) -> List[int]:
+    """Evaluate an MCT-only circuit classically on every basis state."""
+    n = circuit.num_qubits
+    table = []
+    for value in range(1 << n):
+        state = value
+        for op in circuit:
+            if op.name != "x" or len(op.targets) != 1:
+                raise ValueError("circuit contains non-MCT gates")
+            if all((state >> c) & 1 for c in op.controls):
+                state ^= 1 << op.targets[0]
+        table.append(state)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# benchmark function families
+# ---------------------------------------------------------------------------
+def random_reversible_function(
+    num_bits: int, seed: Optional[int] = None
+) -> ReversibleFunction:
+    """An unstructured random reversible function — the ``urf`` stand-in."""
+    rng = random.Random(seed)
+    table = list(range(1 << num_bits))
+    rng.shuffle(table)
+    return ReversibleFunction(num_bits, table, name=f"urf_s{seed}")
+
+
+def plus_constant_mod(num_bits: int, constant: int) -> ReversibleFunction:
+    """``x -> (x + constant) mod 2^n`` — the ``plus63mod4096`` stand-in."""
+    size = 1 << num_bits
+    constant %= size
+    return ReversibleFunction(
+        num_bits,
+        [(x + constant) % size for x in range(size)],
+        name=f"plus{constant}mod{size}",
+    )
+
+
+def hidden_weighted_bit(num_bits: int) -> ReversibleFunction:
+    """The hidden-weighted-bit function: rotate the input by its weight.
+
+    A classic hard benchmark for decision diagrams (our ``example2``-class
+    stand-in: a structured but non-trivial arithmetic-style function).
+    """
+    n = num_bits
+
+    def rotate(x: int) -> int:
+        weight = bin(x).count("1")
+        shift = weight % n if n else 0
+        return ((x >> shift) | (x << (n - shift))) & ((1 << n) - 1) if shift else x
+
+    return ReversibleFunction.from_callable(n, rotate, name=f"hwb{n}")
+
+
+def plus_constant_adder_circuit(num_bits: int, constant: int) -> QuantumCircuit:
+    """Direct (synthesis-free) constant adder built from MCT increments.
+
+    Adding ``2^k`` is an increment cascade on the top ``n - k`` bits; the
+    full constant is the composition over its set bits.  This yields the
+    structurally regular variant of :func:`plus_constant_mod` (both compute
+    the same function — a fact the test suite checks via truth tables).
+    """
+    n = num_bits
+    circuit = QuantumCircuit(
+        n, name=f"plus{constant % (1 << n)}mod{1 << n}_ripple"
+    )
+    for k in range(n):
+        if not (constant >> k) & 1:
+            continue
+        # increment on bits k..n-1
+        for target in reversed(range(k + 1, n)):
+            circuit.mcx(list(range(k, target)), target)
+        circuit.x(k)
+    return circuit

@@ -1,0 +1,233 @@
+"""The case-study harness: regenerate the paper's Table 1.
+
+For every benchmark instance and every configuration (equivalent / one
+gate missing / flipped CNOT) the harness runs both checkers —
+
+* ``t_dd``: the combined DD strategy (alternating scheme + 16 random
+  simulations), standing in for QCEC,
+* ``t_zx``: the ZX ``full_reduce`` strategy, standing in for PyZX —
+
+under a hard per-run timeout, and prints the same row layout as the
+paper's Table 1.  Runtimes are not comparable in absolute terms (pure
+Python vs. optimized C++/compiled Python on the authors' machine); the
+reproduced signal is the *relative* behaviour across benchmark families
+and configurations (see EXPERIMENTS.md).
+
+Run it as a module::
+
+    python -m repro.bench.study --use-case compiled --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.suite import (
+    BenchmarkInstance,
+    CONFIGURATIONS,
+    compiled_benchmarks,
+    optimized_benchmarks,
+)
+from repro.ec.configuration import Configuration
+from repro.ec.manager import EquivalenceCheckingManager
+from repro.ec.results import Equivalence
+
+#: Expected verdict polarity per configuration.
+_EXPECTED = {
+    "equivalent": True,
+    "gate_missing": False,
+    "flipped_cnot": False,
+}
+
+
+@dataclass
+class CellResult:
+    """One method on one instance/configuration."""
+
+    seconds: float
+    verdict: Equivalence
+    timed_out: bool
+    correct: Optional[bool]  # None when the method yields no information
+
+    def render(self, timeout: Optional[float]) -> str:
+        if self.timed_out:
+            return f">{timeout:g}"
+        mark = ""
+        if self.correct is False:
+            mark = "!"
+        elif self.correct is None:
+            mark = "?"
+        return f"{self.seconds:.2f}{mark}"
+
+
+@dataclass
+class TableRow:
+    """One benchmark row of Table 1."""
+
+    name: str
+    use_case: str
+    num_qubits: int
+    size_original: int
+    size_variant: int
+    cells: Dict[str, CellResult]  # keyed by f"{config}/{method}"
+
+
+def _judge(verdict: Equivalence, expect_equivalent: bool) -> Optional[bool]:
+    if verdict in (Equivalence.NO_INFORMATION, Equivalence.TIMEOUT):
+        return None
+    positive = verdict in (
+        Equivalence.EQUIVALENT,
+        Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+        Equivalence.PROBABLY_EQUIVALENT,
+    )
+    return positive == expect_equivalent
+
+
+def run_instance(
+    instance: BenchmarkInstance,
+    timeout: Optional[float] = 60.0,
+    seed: int = 0,
+) -> TableRow:
+    """Run both methods on all three configurations of one instance."""
+    cells: Dict[str, CellResult] = {}
+    for config_name in CONFIGURATIONS:
+        variant = instance.variants[config_name]
+        for method, strategy in (("dd", "combined"), ("zx", "zx")):
+            configuration = Configuration(
+                strategy=strategy, timeout=timeout, seed=seed
+            )
+            manager = EquivalenceCheckingManager(
+                instance.original, variant, configuration
+            )
+            start = time.monotonic()
+            result = manager.run()
+            elapsed = time.monotonic() - start
+            timed_out = result.equivalence is Equivalence.TIMEOUT
+            cells[f"{config_name}/{method}"] = CellResult(
+                elapsed,
+                result.equivalence,
+                timed_out,
+                _judge(result.equivalence, _EXPECTED[config_name]),
+            )
+    return TableRow(
+        instance.name,
+        instance.use_case,
+        instance.num_qubits,
+        instance.size_original,
+        instance.size_variant,
+        cells,
+    )
+
+
+def run_table(
+    use_case: str = "compiled",
+    scale: str = "small",
+    timeout: Optional[float] = 60.0,
+    seed: int = 0,
+    verbose: bool = True,
+) -> List[TableRow]:
+    """Build the benchmark suite and run the full table."""
+    if use_case == "compiled":
+        instances = compiled_benchmarks(scale=scale, seed=seed)
+    elif use_case == "optimized":
+        instances = optimized_benchmarks(scale=scale, seed=seed)
+    else:
+        raise ValueError(f"unknown use case {use_case!r}")
+    rows = []
+    for instance in instances:
+        row = run_instance(instance, timeout=timeout, seed=seed)
+        rows.append(row)
+        if verbose:
+            print(format_row(row, timeout), flush=True)
+    return rows
+
+
+_HEADER = (
+    f"{'Benchmark':24} {'n':>3} {'|G|':>7} {'|G`|':>7} "
+    f"{'Equivalent':>15} {'1 Gate Missing':>15} {'Flipped CNOT':>15}"
+)
+_SUBHEADER = (
+    f"{'':24} {'':>3} {'':>7} {'':>7} "
+    f"{'t_dd':>7} {'t_zx':>7} {'t_dd':>7} {'t_zx':>7} {'t_dd':>7} {'t_zx':>7}"
+)
+
+
+def format_row(row: TableRow, timeout: Optional[float]) -> str:
+    cells = []
+    for config_name in CONFIGURATIONS:
+        for method in ("dd", "zx"):
+            cells.append(
+                f"{row.cells[f'{config_name}/{method}'].render(timeout):>7}"
+            )
+    return (
+        f"{row.name:24} {row.num_qubits:>3} {row.size_original:>7} "
+        f"{row.size_variant:>7} " + " ".join(cells)
+    )
+
+
+def print_table(rows: List[TableRow], timeout: Optional[float]) -> None:
+    print(_HEADER)
+    print(_SUBHEADER)
+    for row in rows:
+        print(format_row(row, timeout))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the case study's Table 1."
+    )
+    parser.add_argument(
+        "--use-case",
+        choices=("compiled", "optimized", "both"),
+        default="both",
+    )
+    parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="additionally write the results as a Markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    use_cases = (
+        ["compiled", "optimized"] if args.use_case == "both" else [args.use_case]
+    )
+    rows_by_use_case = {}
+    for use_case in use_cases:
+        print(f"\n=== {use_case.capitalize()} Circuits ===")
+        print(_HEADER)
+        print(_SUBHEADER)
+        rows_by_use_case[use_case] = run_table(
+            use_case=use_case,
+            scale=args.scale,
+            timeout=args.timeout,
+            seed=args.seed,
+            verbose=True,
+        )
+    if args.report:
+        from repro.bench.report import write_report
+
+        path = write_report(
+            args.report,
+            rows_by_use_case,
+            args.timeout,
+            preamble=(
+                f"# Case-study run (scale={args.scale}, "
+                f"timeout={args.timeout:g}s, seed={args.seed})"
+            ),
+        )
+        print(f"\nreport written to {path}")
+    print(
+        "\nCells: seconds per check; '>T' timeout, '!' wrong verdict, "
+        "'?' no information (ZX cannot prove non-equivalence)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Quantum circuit intermediate representation.
+
+This package provides the circuit model shared by every other subsystem of
+the reproduction: the decision-diagram engine (:mod:`repro.dd`), the
+ZX-calculus engine (:mod:`repro.zx`), the compiler (:mod:`repro.compile`)
+and the equivalence checkers (:mod:`repro.ec`).
+
+The model is deliberately close to OpenQASM 2.0: a circuit is a flat list of
+:class:`~repro.circuit.gate.Operation` objects, each consisting of a *base
+gate* (a small unitary on the target qubits), an optional list of control
+qubits, and real-valued parameters (rotation angles).
+"""
+
+from repro.circuit.gate import (
+    GateDefinition,
+    Operation,
+    STANDARD_GATES,
+    base_matrix,
+    gate_definition,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import QasmError, circuit_from_qasm, circuit_to_qasm
+from repro.circuit.unitary import (
+    operation_unitary,
+    circuit_unitary,
+    statevector,
+    unitaries_equivalent,
+    hilbert_schmidt_fidelity,
+)
+
+__all__ = [
+    "GateDefinition",
+    "Operation",
+    "STANDARD_GATES",
+    "QuantumCircuit",
+    "QasmError",
+    "base_matrix",
+    "gate_definition",
+    "circuit_from_qasm",
+    "circuit_to_qasm",
+    "operation_unitary",
+    "circuit_unitary",
+    "statevector",
+    "unitaries_equivalent",
+    "hilbert_schmidt_fidelity",
+]

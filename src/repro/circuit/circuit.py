@@ -1,0 +1,392 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is a flat, ordered list of :class:`~repro.circuit.gate.Operation`
+objects over ``num_qubits`` wires, plus the two pieces of compilation
+metadata the paper's Section 3 calls out as essential for verifying
+compilation flows:
+
+* ``initial_layout`` — where each *logical* qubit of the original circuit
+  starts on the device (physical wire -> logical qubit), and
+* ``output_permutation`` — which logical qubit each physical wire holds at
+  the end of the circuit (physical wire -> logical qubit).
+
+Both default to the identity on all wires.  The equivalence checkers in
+:mod:`repro.ec` consume this metadata to compare circuits acting on
+permuted qubits, exactly as described in Section 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.gate import Operation
+
+
+class QuantumCircuit:
+    """An ordered sequence of quantum operations on ``num_qubits`` wires."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        name: str = "circuit",
+        operations: Optional[Iterable[Operation]] = None,
+        initial_layout: Optional[Dict[int, int]] = None,
+        output_permutation: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._operations: List[Operation] = []
+        #: physical wire -> logical qubit at the input of the circuit.
+        self.initial_layout: Dict[int, int] = dict(initial_layout or {})
+        #: physical wire -> logical qubit at the output of the circuit.
+        self.output_permutation: Dict[int, int] = dict(output_permutation or {})
+        if operations:
+            for op in operations:
+                self.append(op)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __getitem__(self, index):
+        return self._operations[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self._operations == other._operations
+            and self.resolved_initial_layout() == other.resolved_initial_layout()
+            and self.resolved_output_permutation()
+            == other.resolved_output_permutation()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_gates={len(self)})"
+        )
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """The operations as an immutable snapshot."""
+        return tuple(self._operations)
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def append(self, op: Operation) -> "QuantumCircuit":
+        """Append an operation, validating its qubit indices."""
+        if op.qubits and max(op.qubits) >= self.num_qubits:
+            raise ValueError(
+                f"operation {op} out of range for {self.num_qubits} qubits"
+            )
+        self._operations.append(op)
+        return self
+
+    def add(
+        self,
+        name: str,
+        targets: Sequence[int],
+        controls: Sequence[int] = (),
+        params: Sequence[float] = (),
+    ) -> "QuantumCircuit":
+        """Append a gate by name; the generic spelling of the helpers below."""
+        return self.append(
+            Operation(name, tuple(targets), tuple(controls), tuple(params))
+        )
+
+    # -- parameter-free single-qubit gates ------------------------------
+    def i(self, q: int) -> "QuantumCircuit":
+        return self.add("id", [q])
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", [q])
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", [q])
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", [q])
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", [q])
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", [q])
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sdg", [q])
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", [q])
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", [q])
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.add("sx", [q])
+
+    def sxdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sxdg", [q])
+
+    # -- rotations -------------------------------------------------------
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rx", [q], params=[theta])
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("ry", [q], params=[theta])
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rz", [q], params=[theta])
+
+    def p(self, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("p", [q], params=[lam])
+
+    def u2(self, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u2", [q], params=[phi, lam])
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u3", [q], params=[theta, phi, lam])
+
+    # -- two-qubit / controlled gates -------------------------------------
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("x", [target], controls=[control])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("y", [target], controls=[control])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("z", [target], controls=[control])
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("h", [target], controls=[control])
+
+    def cs(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("s", [target], controls=[control])
+
+    def crx(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("rx", [target], controls=[control], params=[theta])
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("ry", [target], controls=[control], params=[theta])
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("rz", [target], controls=[control], params=[theta])
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("p", [target], controls=[control], params=[lam])
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", [a, b])
+
+    def iswap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("iswap", [a, b])
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rzz", [a, b], params=[theta])
+
+    def rxx(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rxx", [a, b], params=[theta])
+
+    # -- multi-controlled gates --------------------------------------------
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.add("x", [target], controls=[c1, c2])
+
+    def ccz(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.add("z", [target], controls=[c1, c2])
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        return self.add("x", [target], controls=list(controls))
+
+    def mcz(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        return self.add("z", [target], controls=list(controls))
+
+    def mcp(self, lam: float, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        return self.add("p", [target], controls=list(controls), params=[lam])
+
+    def cswap(self, control: int, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", [a, b], controls=[control])
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Deep copy of the circuit (operations are immutable, shared)."""
+        out = QuantumCircuit(
+            self.num_qubits,
+            name or self.name,
+            self._operations,
+            copy.copy(self.initial_layout),
+            copy.copy(self.output_permutation),
+        )
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return ``G†``: each gate inverted, order reversed.
+
+        The layout metadata is swapped accordingly: the inverse circuit
+        starts in the original's output permutation and ends in its initial
+        layout.
+        """
+        out = QuantumCircuit(
+            self.num_qubits,
+            f"{self.name}_dg",
+            (op.inverse() for op in reversed(self._operations)),
+            copy.copy(self.output_permutation),
+            copy.copy(self.initial_layout),
+        )
+        return out
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return the concatenation ``other ∘ self`` (self runs first)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compose circuits of different width")
+        out = self.copy(name=f"{self.name}+{other.name}")
+        for op in other:
+            out.append(op)
+        out.output_permutation = copy.copy(other.output_permutation)
+        return out
+
+    def remapped(self, permutation: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with qubit ``q`` relabelled to ``permutation[q]``."""
+        out = QuantumCircuit(
+            num_qubits if num_qubits is not None else self.num_qubits,
+            self.name,
+        )
+        for op in self._operations:
+            out.append(op.remapped(permutation))
+        return out
+
+    # ------------------------------------------------------------------
+    # metadata helpers
+    # ------------------------------------------------------------------
+    def _resolve_partial_permutation(self, partial: Dict[int, int]) -> Dict[int, int]:
+        """Extend a partial wire->logical map to a bijection.
+
+        Unmapped wires keep their own index when that logical value is
+        free; the remaining wires get the remaining logical values in
+        sorted order.  Raises if the partial map is not injective.
+        """
+        n = self.num_qubits
+        mapping = dict(partial)
+        used = set(mapping.values())
+        if len(used) != len(mapping):
+            raise ValueError(f"layout metadata is not injective: {partial}")
+        if mapping and (
+            min(mapping) < 0
+            or max(mapping) >= n
+            or min(used) < 0
+            or max(used) >= n
+        ):
+            raise ValueError(f"layout metadata out of range: {partial}")
+        unmapped = [w for w in range(n) if w not in mapping]
+        remaining = []
+        for wire in unmapped:
+            if wire not in used:
+                mapping[wire] = wire
+                used.add(wire)
+            else:
+                remaining.append(wire)
+        free = sorted(set(range(n)) - used)
+        for wire, logical in zip(remaining, free):
+            mapping[wire] = logical
+        return mapping
+
+    def resolved_initial_layout(self) -> Dict[int, int]:
+        """Initial layout completed to a bijection on all wires."""
+        return self._resolve_partial_permutation(self.initial_layout)
+
+    def resolved_output_permutation(self) -> Dict[int, int]:
+        """Output permutation completed to a bijection on all wires."""
+        return self._resolve_partial_permutation(self.output_permutation)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def count_ops(self) -> Counter:
+        """Histogram of gate mnemonics, ``cx``-style names for controlled ops."""
+        counts: Counter = Counter()
+        for op in self._operations:
+            counts["c" * len(op.controls) + op.name] += 1
+        return counts
+
+    @property
+    def num_gates(self) -> int:
+        """Total operation count, ``|G|`` in the paper's Table 1."""
+        return len(self._operations)
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of operations acting on two or more qubits."""
+        return sum(1 for op in self._operations if op.num_qubits >= 2)
+
+    def t_count(self) -> int:
+        """Number of T/T† gates (proxy for non-Clifford cost)."""
+        return sum(
+            1
+            for op in self._operations
+            if op.name in ("t", "tdg") and not op.controls
+        )
+
+    def non_clifford_count(self) -> int:
+        """Number of operations that are not Clifford gates."""
+        return sum(1 for op in self._operations if not op.is_clifford())
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of operations sharing qubits."""
+        level = [0] * self.num_qubits
+        depth = 0
+        for op in self._operations:
+            start = max((level[q] for q in op.qubits), default=0)
+            for q in op.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def used_qubits(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubits touched by at least one operation."""
+        used = set()
+        for op in self._operations:
+            used.update(op.qubits)
+        return tuple(sorted(used))
+
+
+def ghz_example() -> QuantumCircuit:
+    """The paper's Fig. 1a: 3-qubit GHZ state preparation circuit."""
+    circuit = QuantumCircuit(3, name="ghz3")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 2)
+    return circuit
+
+
+def compiled_ghz_example() -> QuantumCircuit:
+    """The paper's Fig. 2: GHZ compiled to a 5-qubit line.
+
+    The final CNOT between ``Q0`` and ``Q2`` is made executable by a SWAP of
+    ``Q1``/``Q2`` (decomposed into three CNOTs), which leaves the circuit with
+    a non-trivial output permutation: logical ``q1`` ends on wire 2 and
+    logical ``q2`` on wire 1.
+    """
+    circuit = QuantumCircuit(5, name="ghz3_compiled")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    # SWAP(1, 2) decomposed into three CNOTs.
+    circuit.cx(1, 2)
+    circuit.cx(2, 1)
+    circuit.cx(1, 2)
+    circuit.cx(0, 1)
+    circuit.initial_layout = {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+    circuit.output_permutation = {0: 0, 1: 2, 2: 1, 3: 3, 4: 4}
+    return circuit

@@ -1,0 +1,141 @@
+"""Dependency-DAG view of a circuit.
+
+Gates form a DAG under the "share a qubit" dependency relation; the DAG is
+what routing front-layers, depth computation and commutation-aware
+optimization reason about.  Nodes are operation indices into the source
+circuit, edges connect each operation to its *immediate* predecessor and
+successor on every wire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+class CircuitDAG:
+    """Immediate-dependency DAG over a circuit's operations."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.operations: List[Operation] = list(circuit.operations)
+        count = len(self.operations)
+        self._predecessors: List[Set[int]] = [set() for _ in range(count)]
+        self._successors: List[Set[int]] = [set() for _ in range(count)]
+        last_on_wire: Dict[int, int] = {}
+        for index, op in enumerate(self.operations):
+            for qubit in op.qubits:
+                previous = last_on_wire.get(qubit)
+                if previous is not None:
+                    self._predecessors[index].add(previous)
+                    self._successors[previous].add(index)
+                last_on_wire[qubit] = index
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.operations)
+
+    def predecessors(self, index: int) -> Set[int]:
+        return set(self._predecessors[index])
+
+    def successors(self, index: int) -> Set[int]:
+        return set(self._successors[index])
+
+    def front_layer(self) -> List[int]:
+        """Operations with no predecessors (executable immediately)."""
+        return [
+            index
+            for index in range(self.num_nodes)
+            if not self._predecessors[index]
+        ]
+
+    def topological_order(self) -> List[int]:
+        """Kahn's algorithm; ties broken by original index (stable)."""
+        in_degree = [len(p) for p in self._predecessors]
+        ready = deque(
+            index for index in range(self.num_nodes) if not in_degree[index]
+        )
+        order = []
+        while ready:
+            index = ready.popleft()
+            order.append(index)
+            for successor in sorted(self._successors[index]):
+                in_degree[successor] -= 1
+                if not in_degree[successor]:
+                    ready.append(successor)
+        if len(order) != self.num_nodes:
+            raise RuntimeError("dependency cycle — corrupted DAG")
+        return order
+
+    def longest_path_length(self) -> int:
+        """The circuit depth, computed on the DAG."""
+        depth = [0] * self.num_nodes
+        for index in self.topological_order():
+            depth[index] = 1 + max(
+                (depth[p] for p in self._predecessors[index]), default=0
+            )
+        return max(depth, default=0)
+
+    def to_circuit(self) -> QuantumCircuit:
+        """Rebuild a circuit in topological order (stable linearization)."""
+        out = QuantumCircuit(
+            self.circuit.num_qubits,
+            name=self.circuit.name,
+            initial_layout=self.circuit.initial_layout,
+            output_permutation=self.circuit.output_permutation,
+        )
+        for index in self.topological_order():
+            out.append(self.operations[index])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# commutation rules
+# ---------------------------------------------------------------------------
+#: Gates that are diagonal in the computational basis (with any controls).
+_DIAGONAL = {"z", "s", "sdg", "t", "tdg", "rz", "p", "rzz", "id"}
+#: Pure X-axis gates (with no controls).
+_X_AXIS = {"x", "rx", "sx", "sxdg"}
+
+
+def _is_diagonal(op: Operation) -> bool:
+    return op.name in _DIAGONAL
+
+
+def _is_cx(op: Operation) -> bool:
+    return op.name == "x" and len(op.controls) == 1
+
+
+def operations_commute(a: Operation, b: Operation) -> bool:
+    """Sound (incomplete) syntactic commutation check.
+
+    Covers the cases the commutation-aware optimizer exploits: disjoint
+    supports, diagonal-diagonal pairs, CNOT pairs sharing a control or a
+    target, diagonal gates avoiding a CNOT's target, and X-axis gates
+    avoiding a CNOT's control.  Returns ``False`` whenever unsure.
+    """
+    if not set(a.qubits) & set(b.qubits):
+        return True
+    if _is_diagonal(a) and _is_diagonal(b):
+        return True
+    for first, second in ((a, b), (b, a)):
+        if _is_cx(first):
+            target = first.targets[0]
+            control = first.controls[0]
+            if _is_cx(second):
+                return (
+                    second.targets[0] != control
+                    and second.controls[0] != target
+                )
+            if _is_diagonal(second) and target not in second.qubits:
+                return True
+            if (
+                second.name in _X_AXIS
+                and not second.controls
+                and second.targets[0] != control
+            ):
+                return True
+    return False

@@ -1,0 +1,125 @@
+"""ASCII rendering of quantum circuits.
+
+A lightweight text drawer in the spirit of the paper's circuit figures:
+one row per qubit, gates packed into columns by dependency (parallel gates
+share a column), controls as ``●``, targets as boxed mnemonics / ``⊕`` for
+X, SWAP endpoints as ``x``, and vertical connectors between the involved
+wires.  Used by the examples and handy when debugging benchmark
+generators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+_CONTROL = "●"
+_TARGET_X = "⊕"
+_SWAP = "x"
+_WIRE = "─"
+_VERTICAL = "│"
+
+
+def _gate_label(op: Operation) -> str:
+    if op.name == "x" and op.controls:
+        return _TARGET_X
+    if op.name == "swap":
+        return _SWAP
+    label = op.name.upper()
+    if op.params:
+        args = ",".join(f"{p:.3g}" for p in op.params)
+        label = f"{label}({args})"
+    return label
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 100) -> str:
+    """Render the circuit as ASCII art (possibly multiple banks of rows).
+
+    Args:
+        circuit: The circuit to draw.
+        max_width: Wrap into a new bank after this many characters.
+    """
+    n = circuit.num_qubits
+    # assign each operation a column: first free column on all its wires
+    level: List[int] = [0] * max(n, 1)
+    columns: List[List[Operation]] = []
+    for op in circuit:
+        wires = range(min(op.qubits), max(op.qubits) + 1) if op.qubits else []
+        column = max((level[w] for w in wires), default=0)
+        while len(columns) <= column:
+            columns.append([])
+        columns[column].append(op)
+        for w in wires:
+            level[w] = column + 1
+
+    # render column by column
+    cells: List[List[str]] = [[] for _ in range(2 * n)]  # wire + gap rows
+    for ops in columns:
+        width = 1
+        entries = {}
+        connectors = set()
+        for op in ops:
+            label = _gate_label(op)
+            if op.name == "swap" and not op.controls:
+                for t in op.targets:
+                    entries[t] = _SWAP
+            else:
+                entries[op.targets[0]] = label
+                for extra in op.targets[1:]:
+                    entries[extra] = label
+            for c in op.controls:
+                entries[c] = _CONTROL
+            lo, hi = min(op.qubits), max(op.qubits)
+            for w in range(lo, hi):
+                connectors.add(w)  # gap below wire w is crossed
+            width = max(width, max(len(v) for v in entries.values()))
+        for q in range(n):
+            symbol = entries.get(q, "")
+            if symbol:
+                pad = width - len(symbol)
+                cells[2 * q].append(_WIRE + symbol + _WIRE * (pad + 1))
+            else:
+                mid = _VERTICAL if _crossing(ops, q) else _WIRE
+                cells[2 * q].append(_WIRE + mid + _WIRE * width)
+            gap = _VERTICAL if q in connectors else " "
+            cells[2 * q + 1].append(" " + gap + " " * width)
+
+    lines = []
+    prefix = [f"q{q}: " for q in range(n)]
+    prefix_width = max((len(p) for p in prefix), default=0)
+    if not columns:
+        return "\n".join(
+            prefix[q].rjust(prefix_width) + _WIRE * 3 for q in range(n)
+        )
+    start = 0
+    while start < len(columns):
+        widths = [len(cells[0][c]) for c in range(start, len(columns))]
+        end = start
+        total = 0
+        for w in widths:
+            if total + w > max_width and end > start:
+                break
+            total += w
+            end += 1
+        for q in range(n):
+            row = "".join(cells[2 * q][start:end])
+            lines.append(prefix[q].rjust(prefix_width) + row)
+            gap_row = "".join(cells[2 * q + 1][start:end])
+            if q < n - 1 and gap_row.strip():
+                lines.append(" " * prefix_width + gap_row)
+            elif q < n - 1:
+                lines.append("")
+        start = end if end > start else len(columns)
+        if start < len(columns):
+            lines.append("...")
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def _crossing(ops: List[Operation], qubit: int) -> bool:
+    """Is a vertical connector passing through this untouched wire?"""
+    for op in ops:
+        if min(op.qubits) < qubit < max(op.qubits) and qubit not in op.qubits:
+            return True
+    return False

@@ -1,0 +1,371 @@
+"""Gate definitions and the :class:`Operation` circuit element.
+
+A *base gate* is a small unitary acting on one or two target qubits,
+optionally parameterized by real angles.  Controlled gates are not separate
+definitions: an :class:`Operation` carries an arbitrary tuple of control
+qubits on top of its base gate, so ``cx`` is the base gate ``x`` with one
+control and a Toffoli is ``x`` with two controls.  This uniform treatment is
+what the decision-diagram engine, the ZX converter and the compiler all rely
+on.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+# Matrices are built lazily from the parameter tuple.
+MatrixBuilder = Callable[[Tuple[float, ...]], np.ndarray]
+# Maps the parameters of a gate to (inverse_gate_name, inverse_parameters).
+InverseRule = Callable[[Tuple[float, ...]], Tuple[str, Tuple[float, ...]]]
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Static description of a base gate.
+
+    Attributes:
+        name: Lower-case OpenQASM-style mnemonic (``"h"``, ``"rz"``, ...).
+        num_targets: Number of target qubits the base unitary acts on.
+        num_params: Number of real parameters (rotation angles).
+        matrix: Builder returning the ``2^k x 2^k`` unitary for ``k`` targets.
+        inverse: Rule mapping parameters to the inverse gate and parameters.
+        hermitian: True if the gate is its own inverse for all parameters.
+    """
+
+    name: str
+    num_targets: int
+    num_params: int
+    matrix: MatrixBuilder
+    inverse: Optional[InverseRule] = None
+    hermitian: bool = False
+
+    def inverse_of(self, params: Tuple[float, ...]) -> Tuple[str, Tuple[float, ...]]:
+        """Return the ``(name, params)`` of this gate's inverse."""
+        if self.hermitian:
+            return self.name, params
+        if self.inverse is None:
+            raise ValueError(f"gate {self.name!r} has no inverse rule")
+        return self.inverse(params)
+
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=complex)
+
+
+def _id(_params):
+    return _mat([[1, 0], [0, 1]])
+
+
+def _x(_params):
+    return _mat([[0, 1], [1, 0]])
+
+
+def _y(_params):
+    return _mat([[0, -1j], [1j, 0]])
+
+
+def _z(_params):
+    return _mat([[1, 0], [0, -1]])
+
+
+def _h(_params):
+    return _SQRT2_INV * _mat([[1, 1], [1, -1]])
+
+
+def _s(_params):
+    return _mat([[1, 0], [0, 1j]])
+
+
+def _sdg(_params):
+    return _mat([[1, 0], [0, -1j]])
+
+
+def _t(_params):
+    return _mat([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+
+
+def _tdg(_params):
+    return _mat([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]])
+
+
+def _sx(_params):
+    return 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+
+
+def _sxdg(_params):
+    return 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]])
+
+
+def _rx(params):
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry(params):
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -s], [s, c]])
+
+
+def _rz(params):
+    (theta,) = params
+    return _mat([[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]])
+
+
+def _p(params):
+    (lam,) = params
+    return _mat([[1, 0], [0, cmath.exp(1j * lam)]])
+
+
+def _u2(params):
+    phi, lam = params
+    return _SQRT2_INV * _mat(
+        [
+            [1, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ]
+    )
+
+
+def _u3(params):
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _swap(_params):
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    )
+
+
+def _iswap(_params):
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1j, 0],
+            [0, 1j, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    )
+
+
+def _rzz(params):
+    (theta,) = params
+    a = cmath.exp(-1j * theta / 2)
+    b = cmath.exp(1j * theta / 2)
+    return np.diag([a, b, b, a]).astype(complex)
+
+
+def _rxx(params):
+    (theta,) = params
+    c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+    m = np.zeros((4, 4), dtype=complex)
+    m[0, 0] = m[1, 1] = m[2, 2] = m[3, 3] = c
+    m[0, 3] = m[3, 0] = s
+    m[1, 2] = m[2, 1] = s
+    return m
+
+
+def _neg_single(name: str) -> InverseRule:
+    def rule(params: Tuple[float, ...]) -> Tuple[str, Tuple[float, ...]]:
+        return name, tuple(-p for p in params)
+
+    return rule
+
+
+def _swap_name(name: str) -> InverseRule:
+    def rule(params: Tuple[float, ...]) -> Tuple[str, Tuple[float, ...]]:
+        return name, params
+
+    return rule
+
+
+def _u2_inverse(params: Tuple[float, ...]) -> Tuple[str, Tuple[float, ...]]:
+    phi, lam = params
+    return "u3", (-math.pi / 2, -lam, -phi)
+
+
+def _u3_inverse(params: Tuple[float, ...]) -> Tuple[str, Tuple[float, ...]]:
+    theta, phi, lam = params
+    return "u3", (-theta, -lam, -phi)
+
+
+STANDARD_GATES: Dict[str, GateDefinition] = {}
+
+
+def _register(defn: GateDefinition) -> None:
+    STANDARD_GATES[defn.name] = defn
+
+
+_register(GateDefinition("id", 1, 0, _id, hermitian=True))
+_register(GateDefinition("x", 1, 0, _x, hermitian=True))
+_register(GateDefinition("y", 1, 0, _y, hermitian=True))
+_register(GateDefinition("z", 1, 0, _z, hermitian=True))
+_register(GateDefinition("h", 1, 0, _h, hermitian=True))
+_register(GateDefinition("s", 1, 0, _s, inverse=_swap_name("sdg")))
+_register(GateDefinition("sdg", 1, 0, _sdg, inverse=_swap_name("s")))
+_register(GateDefinition("t", 1, 0, _t, inverse=_swap_name("tdg")))
+_register(GateDefinition("tdg", 1, 0, _tdg, inverse=_swap_name("t")))
+_register(GateDefinition("sx", 1, 0, _sx, inverse=_swap_name("sxdg")))
+_register(GateDefinition("sxdg", 1, 0, _sxdg, inverse=_swap_name("sx")))
+_register(GateDefinition("rx", 1, 1, _rx, inverse=_neg_single("rx")))
+_register(GateDefinition("ry", 1, 1, _ry, inverse=_neg_single("ry")))
+_register(GateDefinition("rz", 1, 1, _rz, inverse=_neg_single("rz")))
+_register(GateDefinition("p", 1, 1, _p, inverse=_neg_single("p")))
+_register(GateDefinition("u2", 1, 2, _u2, inverse=_u2_inverse))
+_register(GateDefinition("u3", 1, 3, _u3, inverse=_u3_inverse))
+_register(GateDefinition("swap", 2, 0, _swap, hermitian=True))
+_register(GateDefinition("iswap", 2, 0, _iswap, inverse=None))
+_register(GateDefinition("rzz", 2, 1, _rzz, inverse=_neg_single("rzz")))
+_register(GateDefinition("rxx", 2, 1, _rxx, inverse=_neg_single("rxx")))
+
+#: Aliases accepted by the QASM parser and the circuit builder API.
+GATE_ALIASES: Dict[str, str] = {
+    "u1": "p",
+    "u": "u3",
+    "phase": "p",
+    "cnot": "x",  # handled with a control by the parser
+}
+
+
+def gate_definition(name: str) -> GateDefinition:
+    """Look up a base-gate definition by (aliased) name.
+
+    Raises:
+        KeyError: if the name is not a known standard gate.
+    """
+    canonical = GATE_ALIASES.get(name, name)
+    return STANDARD_GATES[canonical]
+
+
+def base_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the base (uncontrolled) unitary matrix of a standard gate."""
+    defn = gate_definition(name)
+    params = tuple(params)
+    if len(params) != defn.num_params:
+        raise ValueError(
+            f"gate {name!r} expects {defn.num_params} parameter(s), "
+            f"got {len(params)}"
+        )
+    return defn.matrix(params)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One circuit element: a (possibly controlled) standard gate.
+
+    Attributes:
+        name: Base gate mnemonic; must be a key of :data:`STANDARD_GATES`.
+        targets: Target qubit indices (length must equal the base gate's
+            ``num_targets``).
+        controls: Positive control qubit indices (possibly empty).
+        params: Real gate parameters.
+    """
+
+    name: str
+    targets: Tuple[int, ...]
+    controls: Tuple[int, ...] = ()
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        defn = gate_definition(self.name)
+        object.__setattr__(self, "name", GATE_ALIASES.get(self.name, self.name))
+        if len(self.targets) != defn.num_targets:
+            raise ValueError(
+                f"gate {self.name!r} needs {defn.num_targets} target(s), "
+                f"got {self.targets}"
+            )
+        if len(self.params) != defn.num_params:
+            raise ValueError(
+                f"gate {self.name!r} needs {defn.num_params} parameter(s), "
+                f"got {self.params}"
+            )
+        qubits = self.targets + self.controls
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in operation: {self}")
+        if any(q < 0 for q in qubits):
+            raise ValueError(f"negative qubit index in operation: {self}")
+
+    @property
+    def definition(self) -> GateDefinition:
+        """The base-gate definition of this operation."""
+        return gate_definition(self.name)
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubits the operation touches (targets then controls)."""
+        return self.targets + self.controls
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_controlled(self) -> bool:
+        return bool(self.controls)
+
+    def matrix(self) -> np.ndarray:
+        """The base (uncontrolled) unitary of the operation."""
+        return self.definition.matrix(self.params)
+
+    def inverse(self) -> "Operation":
+        """Return the inverse operation (same controls)."""
+        name, params = self.definition.inverse_of(self.params)
+        return Operation(name, self.targets, self.controls, params)
+
+    def remapped(self, permutation: Dict[int, int]) -> "Operation":
+        """Return a copy with every qubit ``q`` replaced by ``permutation[q]``."""
+        return Operation(
+            self.name,
+            tuple(permutation[q] for q in self.targets),
+            tuple(permutation[q] for q in self.controls),
+            self.params,
+        )
+
+    def is_clifford(self, atol: float = 1e-9) -> bool:
+        """Heuristic Clifford test for the common gate set.
+
+        Covers the gates our generators emit: parameter-free Clifford gates,
+        ``rz/p/rx/ry`` at multiples of pi/2, and at most one control on
+        ``x``/``z`` (CX / CZ).  Multi-controlled gates are never Clifford.
+        """
+        if len(self.controls) > 1:
+            return False
+        if self.controls and self.name not in ("x", "z", "y"):
+            return False
+        clifford_names = {
+            "id", "x", "y", "z", "h", "s", "sdg", "sx", "sxdg", "swap", "iswap",
+        }
+        if self.name in clifford_names:
+            return True
+        if self.name in ("rz", "rx", "ry", "p"):
+            angle = self.params[0] % (2 * math.pi)
+            return min(
+                abs(angle - k * math.pi / 2) for k in range(5)
+            ) < atol
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        ctrl = "c" * len(self.controls)
+        args = ", ".join(f"{p:.6g}" for p in self.params)
+        head = f"{ctrl}{self.name}" + (f"({args})" if args else "")
+        return f"{head} {list(self.controls) + list(self.targets)}"

@@ -1,0 +1,534 @@
+"""OpenQASM 2.0 reader and writer.
+
+The paper's case study exchanges all benchmarks as QASM files ("All
+benchmarks are provided in the form of QASM files, which serves as a common
+language for both tools").  This module provides the same interchange layer
+for the reproduction: a recursive-descent parser covering the OpenQASM 2.0
+constructs our benchmark suite emits (including user-defined ``gate``
+macros, which are expanded inline) and a writer producing files any
+OpenQASM 2.0 consumer understands.
+
+Supported statements: ``OPENQASM``, ``include`` (the standard library is
+built in), ``qreg``, ``creg``, ``gate`` definitions, gate applications with
+register broadcasting, ``barrier`` and ``measure`` (both ignored for the
+unitary semantics), and ``//`` comments.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<REAL>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<INT>\d+)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP>->|==|[{}()\[\];,+\-*/^])
+  | (?P<STRING>"[^"]*")
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QasmError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        if kind not in ("WS", "COMMENT"):
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+}
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def next(self) -> Tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def expect(self, value: str) -> str:
+        kind, text = self.next()
+        if text != value:
+            raise QasmError(f"expected {value!r}, got {text!r}")
+        return text
+
+    def expect_kind(self, kind: str) -> str:
+        actual, text = self.next()
+        if actual != kind:
+            raise QasmError(f"expected {kind}, got {text!r}")
+        return text
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.next()
+            return True
+        return False
+
+    # -- expressions ----------------------------------------------------
+    def parse_expression(self, env: Dict[str, float]) -> float:
+        return self._parse_additive(env)
+
+    def _parse_additive(self, env: Dict[str, float]) -> float:
+        value = self._parse_multiplicative(env)
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            rhs = self._parse_multiplicative(env)
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _parse_multiplicative(self, env: Dict[str, float]) -> float:
+        value = self._parse_unary(env)
+        while self.peek()[1] in ("*", "/"):
+            op = self.next()[1]
+            rhs = self._parse_unary(env)
+            value = value * rhs if op == "*" else value / rhs
+        return value
+
+    def _parse_unary(self, env: Dict[str, float]) -> float:
+        if self.accept("-"):
+            return -self._parse_unary(env)
+        if self.accept("+"):
+            return self._parse_unary(env)
+        return self._parse_power(env)
+
+    def _parse_power(self, env: Dict[str, float]) -> float:
+        base = self._parse_atom(env)
+        if self.accept("^"):
+            exponent = self._parse_unary(env)
+            return base**exponent
+        return base
+
+    def _parse_atom(self, env: Dict[str, float]) -> float:
+        kind, text = self.next()
+        if text == "(":
+            value = self.parse_expression(env)
+            self.expect(")")
+            return value
+        if kind in ("REAL", "INT"):
+            return float(text)
+        if kind == "ID":
+            if text == "pi":
+                return math.pi
+            if text in _FUNCTIONS:
+                self.expect("(")
+                arg = self.parse_expression(env)
+                self.expect(")")
+                return _FUNCTIONS[text](arg)
+            if text in env:
+                return env[text]
+            raise QasmError(f"unknown identifier {text!r} in expression")
+        raise QasmError(f"unexpected token {text!r} in expression")
+
+
+# ---------------------------------------------------------------------------
+# gate application table
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BuiltinGate:
+    """Shape of a built-in QASM gate: base gate + implicit controls."""
+
+    base: str
+    num_controls: int
+    num_params: int
+    num_targets: int = 1
+
+
+_BUILTINS: Dict[str, _BuiltinGate] = {
+    "id": _BuiltinGate("id", 0, 0),
+    "u0": _BuiltinGate("id", 0, 1),
+    "x": _BuiltinGate("x", 0, 0),
+    "y": _BuiltinGate("y", 0, 0),
+    "z": _BuiltinGate("z", 0, 0),
+    "h": _BuiltinGate("h", 0, 0),
+    "s": _BuiltinGate("s", 0, 0),
+    "sdg": _BuiltinGate("sdg", 0, 0),
+    "t": _BuiltinGate("t", 0, 0),
+    "tdg": _BuiltinGate("tdg", 0, 0),
+    "sx": _BuiltinGate("sx", 0, 0),
+    "sxdg": _BuiltinGate("sxdg", 0, 0),
+    "rx": _BuiltinGate("rx", 0, 1),
+    "ry": _BuiltinGate("ry", 0, 1),
+    "rz": _BuiltinGate("rz", 0, 1),
+    "p": _BuiltinGate("p", 0, 1),
+    "u1": _BuiltinGate("p", 0, 1),
+    "u2": _BuiltinGate("u2", 0, 2),
+    "u3": _BuiltinGate("u3", 0, 3),
+    "u": _BuiltinGate("u3", 0, 3),
+    "cx": _BuiltinGate("x", 1, 0),
+    "CX": _BuiltinGate("x", 1, 0),
+    "cy": _BuiltinGate("y", 1, 0),
+    "cz": _BuiltinGate("z", 1, 0),
+    "ch": _BuiltinGate("h", 1, 0),
+    "csx": _BuiltinGate("sx", 1, 0),
+    "crx": _BuiltinGate("rx", 1, 1),
+    "cry": _BuiltinGate("ry", 1, 1),
+    "crz": _BuiltinGate("rz", 1, 1),
+    "cp": _BuiltinGate("p", 1, 1),
+    "cu1": _BuiltinGate("p", 1, 1),
+    "cu3": _BuiltinGate("u3", 1, 3),
+    "ccx": _BuiltinGate("x", 2, 0),
+    "ccz": _BuiltinGate("z", 2, 0),
+    "c3x": _BuiltinGate("x", 3, 0),
+    "c4x": _BuiltinGate("x", 4, 0),
+    "swap": _BuiltinGate("swap", 0, 0, num_targets=2),
+    "iswap": _BuiltinGate("iswap", 0, 0, num_targets=2),
+    "cswap": _BuiltinGate("swap", 1, 0, num_targets=2),
+    "rzz": _BuiltinGate("rzz", 0, 1, num_targets=2),
+    "rxx": _BuiltinGate("rxx", 0, 1, num_targets=2),
+}
+
+#: ``mcx_<k>`` style names for arbitrary multi-controlled X/Z.
+_MCX_RE = re.compile(r"^(?:mcx|mct)_?(\d+)$")
+_MCZ_RE = re.compile(r"^mcz_?(\d+)$")
+
+
+def _builtin_for(name: str) -> Optional[_BuiltinGate]:
+    if name in _BUILTINS:
+        return _BUILTINS[name]
+    match = _MCX_RE.match(name)
+    if match:
+        return _BuiltinGate("x", int(match.group(1)), 0)
+    match = _MCZ_RE.match(name)
+    if match:
+        return _BuiltinGate("z", int(match.group(1)), 0)
+    return None
+
+
+@dataclass
+class _GateMacro:
+    """A user-defined ``gate`` block, expanded on application."""
+
+    name: str
+    params: List[str]
+    qubits: List[str]
+    # body statements: (gate_name, param_token_slices, qubit_names)
+    body: List[Tuple[str, List[List[Tuple[str, str]]], List[str]]]
+
+
+class _QasmReader:
+    """Parses a full OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+
+    def __init__(self, text: str) -> None:
+        self._parser = _Parser(_tokenize(text))
+        self._registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self._num_qubits = 0
+        self._macros: Dict[str, _GateMacro] = {}
+        self._operations: List[Operation] = []
+
+    def run(self, name: str = "qasm") -> QuantumCircuit:
+        parser = self._parser
+        while parser.peek()[0] != "EOF":
+            kind, text = parser.peek()
+            if text == "OPENQASM":
+                parser.next()
+                parser.expect_kind("REAL")
+                parser.expect(";")
+            elif text == "include":
+                parser.next()
+                parser.expect_kind("STRING")
+                parser.expect(";")
+            elif text == "qreg":
+                self._parse_qreg()
+            elif text == "creg":
+                self._parse_creg()
+            elif text == "gate":
+                self._parse_gate_definition()
+            elif text == "barrier":
+                self._skip_statement()
+            elif text == "measure":
+                self._skip_statement()
+            elif text == "reset":
+                self._skip_statement()
+            elif kind == "ID":
+                self._parse_application()
+            else:
+                raise QasmError(f"unexpected token {text!r}")
+        circuit = QuantumCircuit(self._num_qubits, name=name)
+        for op in self._operations:
+            circuit.append(op)
+        return circuit
+
+    # -- declarations -----------------------------------------------------
+    def _parse_qreg(self) -> None:
+        parser = self._parser
+        parser.expect("qreg")
+        reg_name = parser.expect_kind("ID")
+        parser.expect("[")
+        size = int(parser.expect_kind("INT"))
+        parser.expect("]")
+        parser.expect(";")
+        if reg_name in self._registers:
+            raise QasmError(f"duplicate qreg {reg_name!r}")
+        self._registers[reg_name] = (self._num_qubits, size)
+        self._num_qubits += size
+
+    def _parse_creg(self) -> None:
+        parser = self._parser
+        parser.expect("creg")
+        parser.expect_kind("ID")
+        parser.expect("[")
+        parser.expect_kind("INT")
+        parser.expect("]")
+        parser.expect(";")
+
+    def _skip_statement(self) -> None:
+        parser = self._parser
+        while parser.peek()[1] != ";":
+            if parser.peek()[0] == "EOF":
+                raise QasmError("unterminated statement")
+            parser.next()
+        parser.expect(";")
+
+    # -- gate definitions ---------------------------------------------------
+    def _parse_gate_definition(self) -> None:
+        parser = self._parser
+        parser.expect("gate")
+        gate_name = parser.expect_kind("ID")
+        params: List[str] = []
+        if parser.accept("("):
+            if not parser.accept(")"):
+                params.append(parser.expect_kind("ID"))
+                while parser.accept(","):
+                    params.append(parser.expect_kind("ID"))
+                parser.expect(")")
+        qubits = [parser.expect_kind("ID")]
+        while parser.accept(","):
+            qubits.append(parser.expect_kind("ID"))
+        parser.expect("{")
+        body: List[Tuple[str, List[List[Tuple[str, str]]], List[str]]] = []
+        while not parser.accept("}"):
+            if parser.peek()[1] == "barrier":
+                self._skip_statement()
+                continue
+            inner_name = parser.expect_kind("ID")
+            param_slices: List[List[Tuple[str, str]]] = []
+            if parser.accept("("):
+                if not parser.accept(")"):
+                    param_slices.append(self._collect_expression_tokens())
+                    while parser.accept(","):
+                        param_slices.append(self._collect_expression_tokens())
+                    parser.expect(")")
+            args = [parser.expect_kind("ID")]
+            while parser.accept(","):
+                args.append(parser.expect_kind("ID"))
+            parser.expect(";")
+            body.append((inner_name, param_slices, args))
+        self._macros[gate_name] = _GateMacro(gate_name, params, qubits, body)
+
+    def _collect_expression_tokens(self) -> List[Tuple[str, str]]:
+        """Grab raw tokens of one expression up to an unnested ',' or ')'."""
+        parser = self._parser
+        depth = 0
+        tokens: List[Tuple[str, str]] = []
+        while True:
+            kind, text = parser.peek()
+            if kind == "EOF":
+                raise QasmError("unterminated expression")
+            if depth == 0 and text in (",", ")"):
+                break
+            if text == "(":
+                depth += 1
+            elif text == ")":
+                depth -= 1
+            tokens.append(parser.next())
+        tokens.append(("EOF", ""))
+        return tokens
+
+    # -- applications ------------------------------------------------------
+    def _parse_application(self) -> None:
+        parser = self._parser
+        gate_name = parser.expect_kind("ID")
+        params: List[float] = []
+        if parser.accept("("):
+            if not parser.accept(")"):
+                params.append(parser.parse_expression({}))
+                while parser.accept(","):
+                    params.append(parser.parse_expression({}))
+                parser.expect(")")
+        arguments: List[List[int]] = [self._parse_argument()]
+        while parser.accept(","):
+            arguments.append(self._parse_argument())
+        parser.expect(";")
+        self._emit(gate_name, params, arguments)
+
+    def _parse_argument(self) -> List[int]:
+        """A register or indexed qubit; returns the list of qubit indices."""
+        parser = self._parser
+        reg_name = parser.expect_kind("ID")
+        if reg_name not in self._registers:
+            raise QasmError(f"unknown register {reg_name!r}")
+        offset, size = self._registers[reg_name]
+        if parser.accept("["):
+            index = int(parser.expect_kind("INT"))
+            parser.expect("]")
+            if index >= size:
+                raise QasmError(f"index {index} out of range for {reg_name!r}")
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def _emit(
+        self, gate_name: str, params: List[float], arguments: List[List[int]]
+    ) -> None:
+        """Broadcast a gate application over register arguments."""
+        lengths = {len(arg) for arg in arguments if len(arg) > 1}
+        if len(lengths) > 1:
+            raise QasmError("mismatched register sizes in broadcast")
+        repeat = lengths.pop() if lengths else 1
+        for i in range(repeat):
+            qubits = [arg[i] if len(arg) > 1 else arg[0] for arg in arguments]
+            self._emit_single(gate_name, params, qubits)
+
+    def _emit_single(
+        self, gate_name: str, params: List[float], qubits: List[int]
+    ) -> None:
+        builtin = _builtin_for(gate_name)
+        if builtin is not None:
+            expected = builtin.num_controls + builtin.num_targets
+            if len(qubits) != expected:
+                raise QasmError(
+                    f"gate {gate_name!r} expects {expected} qubits, got {len(qubits)}"
+                )
+            if len(params) != builtin.num_params:
+                raise QasmError(
+                    f"gate {gate_name!r} expects {builtin.num_params} params"
+                )
+            controls = tuple(qubits[: builtin.num_controls])
+            targets = tuple(qubits[builtin.num_controls:])
+            if builtin.base == "id" and gate_name == "u0":
+                params = []
+            self._operations.append(
+                Operation(builtin.base, targets, controls, tuple(params))
+            )
+            return
+        macro = self._macros.get(gate_name)
+        if macro is None:
+            raise QasmError(f"unknown gate {gate_name!r}")
+        if len(params) != len(macro.params):
+            raise QasmError(f"gate {gate_name!r} expects {len(macro.params)} params")
+        if len(qubits) != len(macro.qubits):
+            raise QasmError(f"gate {gate_name!r} expects {len(macro.qubits)} qubits")
+        env = dict(zip(macro.params, params))
+        binding = dict(zip(macro.qubits, qubits))
+        for inner_name, param_slices, args in macro.body:
+            inner_params = [
+                _Parser(tokens).parse_expression(env) for tokens in param_slices
+            ]
+            inner_qubits = [binding[a] for a in args]
+            self._emit_single(inner_name, inner_params, inner_qubits)
+
+
+def circuit_from_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    return _QasmReader(text).run(name=name)
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+_CONTROLLED_NAMES = {
+    ("x", 1): "cx",
+    ("y", 1): "cy",
+    ("z", 1): "cz",
+    ("h", 1): "ch",
+    ("sx", 1): "csx",
+    ("rx", 1): "crx",
+    ("ry", 1): "cry",
+    ("rz", 1): "crz",
+    ("p", 1): "cp",
+    ("u3", 1): "cu3",
+    ("x", 2): "ccx",
+    ("z", 2): "ccz",
+    ("x", 3): "c3x",
+    ("x", 4): "c4x",
+    ("swap", 1): "cswap",
+}
+
+
+def _format_param(value: float) -> str:
+    return repr(float(value))
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0.
+
+    Multi-controlled X/Z beyond four controls are emitted with the
+    ``mcx_<k>`` convention understood by :func:`circuit_from_qasm`.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for op in circuit:
+        num_controls = len(op.controls)
+        if num_controls == 0:
+            name = {"u3": "u3", "p": "p"}.get(op.name, op.name)
+        else:
+            key = (op.name, num_controls)
+            if key in _CONTROLLED_NAMES:
+                name = _CONTROLLED_NAMES[key]
+            elif op.name == "x":
+                name = f"mcx_{num_controls}"
+            elif op.name == "z":
+                name = f"mcz_{num_controls}"
+            else:
+                raise QasmError(
+                    f"cannot serialize {num_controls}-controlled {op.name!r}"
+                )
+        params = (
+            "(" + ",".join(_format_param(p) for p in op.params) + ")"
+            if op.params
+            else ""
+        )
+        qubits = ",".join(
+            f"q[{q}]" for q in tuple(op.controls) + tuple(op.targets)
+        )
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Dense-matrix reference semantics for circuits.
+
+These routines build explicit ``2^n x 2^n`` unitaries / ``2^n`` state
+vectors with numpy.  They scale exponentially and exist as the *ground
+truth* the decision-diagram and ZX engines are validated against in the
+test suite (Section 3 of the paper: "checking the equivalence of two
+quantum circuits reduces to the construction and the comparison of the
+respective system matrices").
+
+Qubit ordering convention: qubit 0 is the least-significant bit of the
+basis-state index, i.e. ``|q_{n-1} ... q_1 q_0>``.  This matches the
+paper's Example 2, where the GHZ circuit maps ``|000>`` to
+``(|000> + |111>)/sqrt(2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+def _apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply ``matrix`` on ``qubits`` of a state tensor of ``num_qubits``.
+
+    ``state`` may be a vector (shape ``(2**n,)``) or matrix (shape
+    ``(2**n, m)``); the operation acts on the row index.
+    """
+    k = len(qubits)
+    if state.ndim == 1:
+        tensor = state.reshape([2] * num_qubits)
+    else:
+        tensor = state.reshape([2] * num_qubits + [state.shape[1]])
+    # numpy tensor axis i corresponds to qubit (num_qubits - 1 - i).
+    axes = [num_qubits - 1 - q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(k))
+    rest = tensor.shape[k:]
+    tensor = (matrix @ tensor.reshape(2**k, -1)).reshape([2] * k + list(rest))
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(state.shape)
+
+
+def _controlled_matrix(base: np.ndarray, num_controls: int) -> np.ndarray:
+    """Embed ``base`` into a controlled unitary with ``num_controls`` controls.
+
+    Control qubits are the *most significant* qubits of the returned matrix,
+    i.e. the matrix acts on ``(controls..., targets...)`` with the first
+    control being the most significant.
+    """
+    k = int(np.log2(base.shape[0]))
+    dim = 2 ** (k + num_controls)
+    out = np.eye(dim, dtype=complex)
+    out[dim - base.shape[0]:, dim - base.shape[0]:] = base
+    return out
+
+
+def operation_unitary(op: Operation, num_qubits: int) -> np.ndarray:
+    """Full ``2^n x 2^n`` unitary of a single operation."""
+    state = np.eye(2**num_qubits, dtype=complex)
+    return apply_operation(state, op, num_qubits)
+
+
+def apply_operation(
+    state: np.ndarray, op: Operation, num_qubits: int
+) -> np.ndarray:
+    """Apply one operation to a dense state vector or matrix.
+
+    Our gate definitions write multi-target matrices with ``targets[0]`` as
+    the *least* significant qubit (the OpenQASM convention), while
+    :func:`_apply_matrix` treats the first listed qubit as the *most*
+    significant one — hence the target block is passed in reverse.
+    """
+    matrix = _controlled_matrix(op.matrix(), len(op.controls))
+    qubits = tuple(op.controls) + tuple(reversed(op.targets))
+    return _apply_matrix(state, matrix, qubits, num_qubits)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """The system matrix ``U`` of a circuit (exponential; tests only)."""
+    n = circuit.num_qubits
+    unitary = np.eye(2**n, dtype=complex)
+    for op in circuit:
+        unitary = apply_operation(unitary, op, n)
+    return unitary
+
+
+def statevector(
+    circuit: QuantumCircuit, initial: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Simulate the circuit on ``initial`` (default ``|0...0>``)."""
+    n = circuit.num_qubits
+    if initial is None:
+        state = np.zeros(2**n, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=complex).copy()
+        if state.shape != (2**n,):
+            raise ValueError("initial state has wrong dimension")
+    for op in circuit:
+        state = apply_operation(state, op, n)
+    return state
+
+
+def permutation_matrix(perm: Dict[int, int], num_qubits: int) -> np.ndarray:
+    """Unitary that moves the state of wire ``k`` to wire ``perm[k]``.
+
+    ``perm`` maps source wire -> destination wire and must be a bijection on
+    ``range(num_qubits)`` (missing wires are fixed points).
+    """
+    full = {q: q for q in range(num_qubits)}
+    full.update(perm)
+    if sorted(full.values()) != list(range(num_qubits)):
+        raise ValueError(f"not a permutation: {perm}")
+    dim = 2**num_qubits
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for basis in range(dim):
+        image = 0
+        for src, dst in full.items():
+            if (basis >> src) & 1:
+                image |= 1 << dst
+        matrix[image, basis] = 1.0
+    return matrix
+
+
+def hilbert_schmidt_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """``|tr(U† V)| / 2^n`` — 1.0 iff equal up to global phase."""
+    if u.shape != v.shape:
+        raise ValueError("matrices must have equal shape")
+    return abs(np.trace(u.conj().T @ v)) / u.shape[0]
+
+
+def unitaries_equivalent(
+    u: np.ndarray, v: np.ndarray, tol: float = 1e-9
+) -> bool:
+    """Equality up to global phase via the Hilbert-Schmidt inner product."""
+    return abs(hilbert_schmidt_fidelity(u, v) - 1.0) < tol

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Mirrors the way the paper's tools are driven in practice ("Using either
+method merely requires a few lines of code") as a shell command::
+
+    python -m repro verify original.qasm compiled.qasm --strategy combined
+    python -m repro compile circuit.qasm --device line:5 -o compiled.qasm
+    python -m repro stats circuit.qasm
+    python -m repro bench --use-case compiled --scale small
+
+Because OpenQASM 2.0 has no syntax for layout metadata, ``compile`` writes
+a JSON sidecar (``<out>.layout.json``) with the initial layout and output
+permutation, and ``verify`` picks it up automatically (or via
+``--layout``).
+
+Exit codes of ``verify``: 0 = considered equivalent, 1 = proven
+non-equivalent, 2 = no information / timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.circuit import circuit_from_qasm, circuit_to_qasm
+from repro.circuit.circuit import QuantumCircuit
+
+
+def _load_circuit(path: str, layout_path: Optional[str] = None) -> QuantumCircuit:
+    text = Path(path).read_text()
+    circuit = circuit_from_qasm(text, name=Path(path).stem)
+    sidecar = Path(layout_path) if layout_path else Path(path + ".layout.json")
+    if sidecar.exists():
+        metadata = json.loads(sidecar.read_text())
+        circuit.initial_layout = {
+            int(k): v for k, v in metadata.get("initial_layout", {}).items()
+        }
+        circuit.output_permutation = {
+            int(k): v
+            for k, v in metadata.get("output_permutation", {}).items()
+        }
+    return circuit
+
+
+def _parse_device(spec: str):
+    from repro.compile import (
+        grid_architecture,
+        line_architecture,
+        manhattan_architecture,
+        ring_architecture,
+    )
+
+    if spec == "manhattan":
+        return manhattan_architecture()
+    kind, _, arg = spec.partition(":")
+    if kind == "line":
+        return line_architecture(int(arg))
+    if kind == "ring":
+        return ring_architecture(int(arg))
+    if kind == "grid":
+        rows, _, cols = arg.partition("x")
+        return grid_architecture(int(rows), int(cols))
+    raise SystemExit(
+        f"unknown device {spec!r} (use manhattan, line:N, ring:N, grid:RxC)"
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.ec import Configuration, EquivalenceCheckingManager
+    from repro.ec.results import Equivalence
+
+    circuit1 = _load_circuit(args.circuit1, args.layout1)
+    circuit2 = _load_circuit(args.circuit2, args.layout2)
+    configuration = Configuration(
+        strategy=args.strategy,
+        oracle=args.oracle,
+        num_simulations=args.simulations,
+        stimuli_type=args.stimuli,
+        timeout=args.timeout,
+        seed=args.seed,
+    )
+    result = EquivalenceCheckingManager(
+        circuit1, circuit2, configuration
+    ).run()
+    print(f"{result.equivalence.value}  [{result.strategy}]  {result.time:.3f}s")
+    if args.verbose:
+        for key, value in sorted(result.statistics.items()):
+            print(f"  {key}: {value}")
+    if result.considered_equivalent:
+        return 0
+    if result.equivalence is Equivalence.NOT_EQUIVALENT:
+        return 1
+    return 2
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compile import compile_circuit
+
+    circuit = _load_circuit(args.circuit)
+    device = _parse_device(args.device)
+    compiled = compile_circuit(
+        circuit,
+        device,
+        layout_method=args.layout_method,
+        routing_method=args.routing_method,
+        optimization_level=args.optimization_level,
+    )
+    out_path = Path(args.output)
+    out_path.write_text(circuit_to_qasm(compiled))
+    sidecar = Path(str(out_path) + ".layout.json")
+    sidecar.write_text(
+        json.dumps(
+            {
+                "initial_layout": compiled.initial_layout,
+                "output_permutation": compiled.output_permutation,
+            },
+            indent=2,
+        )
+    )
+    print(
+        f"compiled {circuit.name}: {len(circuit)} -> {len(compiled)} gates "
+        f"on {device.name}; wrote {out_path} (+ layout sidecar)"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    counts = circuit.count_ops()
+    print(f"name:            {circuit.name}")
+    print(f"qubits:          {circuit.num_qubits}")
+    print(f"gates:           {len(circuit)}")
+    print(f"depth:           {circuit.depth()}")
+    print(f"two-qubit gates: {circuit.two_qubit_gate_count()}")
+    print(f"t gates:         {circuit.t_count()}")
+    print(f"non-clifford:    {circuit.non_clifford_count()}")
+    print("counts:          " + ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items())
+    ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.study import main as study_main
+
+    forwarded = ["--use-case", args.use_case, "--scale", args.scale,
+                 "--timeout", str(args.timeout), "--seed", str(args.seed)]
+    return study_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Equivalence checking paradigms case-study toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="check two QASM circuits")
+    verify.add_argument("circuit1")
+    verify.add_argument("circuit2")
+    verify.add_argument(
+        "--strategy",
+        default="combined",
+        choices=(
+            "construction", "alternating", "simulation", "zx", "combined",
+            "stabilizer", "state",
+        ),
+    )
+    verify.add_argument(
+        "--oracle", default="proportional",
+        choices=("naive", "proportional", "lookahead", "compilation_flow"),
+    )
+    verify.add_argument("--simulations", type=int, default=16)
+    verify.add_argument(
+        "--stimuli", default="classical",
+        choices=("classical", "local_quantum", "global_quantum"),
+    )
+    verify.add_argument("--timeout", type=float, default=None)
+    verify.add_argument("--seed", type=int, default=None)
+    verify.add_argument("--layout1", default=None)
+    verify.add_argument("--layout2", default=None)
+    verify.add_argument("-v", "--verbose", action="store_true")
+    verify.set_defaults(func=_cmd_verify)
+
+    compile_cmd = sub.add_parser("compile", help="compile a QASM circuit")
+    compile_cmd.add_argument("circuit")
+    compile_cmd.add_argument("--device", default="manhattan")
+    compile_cmd.add_argument("-o", "--output", required=True)
+    compile_cmd.add_argument(
+        "--layout-method", default="greedy", choices=("trivial", "greedy")
+    )
+    compile_cmd.add_argument(
+        "--routing-method", default="basic", choices=("basic", "lookahead")
+    )
+    compile_cmd.add_argument("--optimization-level", type=int, default=1)
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    stats = sub.add_parser("stats", help="print circuit statistics")
+    stats.add_argument("circuit")
+    stats.set_defaults(func=_cmd_stats)
+
+    bench = sub.add_parser("bench", help="run the Table 1 harness")
+    bench.add_argument(
+        "--use-case", default="both",
+        choices=("compiled", "optimized", "both"),
+    )
+    bench.add_argument("--scale", default="small", choices=("small", "paper"))
+    bench.add_argument("--timeout", type=float, default=60.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

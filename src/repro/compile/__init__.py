@@ -1,0 +1,52 @@
+"""Quantum circuit compilation substrate.
+
+Re-implements the pipeline the paper obtains from qiskit-terra (Section 6.1):
+
+* :mod:`repro.compile.decompose` — lowering high-level gates (multi-controlled
+  Toffolis, controlled rotations, ...) into a device basis of single-qubit
+  rotations plus CNOT,
+* :mod:`repro.compile.architectures` — coupling maps, including a 65-qubit
+  heavy-hex layout standing in for IBM Manhattan,
+* :mod:`repro.compile.layout` / :mod:`repro.compile.routing` — placing
+  logical qubits on the device and inserting SWAPs, recording the initial
+  layout and output permutation the equivalence checkers must honour,
+* :mod:`repro.compile.optimize` — the gate-cancellation / rotation-merging
+  passes that produce the paper's "Optimized Circuits" use-case,
+* :mod:`repro.compile.compiler` — the end-to-end :func:`compile_circuit`
+  flow.
+"""
+
+from repro.compile.architectures import (
+    CouplingMap,
+    grid_architecture,
+    line_architecture,
+    manhattan_architecture,
+    ring_architecture,
+)
+from repro.compile.decompose import (
+    decompose_for_zx,
+    decompose_to_basis,
+    decompose_to_cx_and_singles,
+    zyz_angles,
+)
+from repro.compile.layout import trivial_layout, greedy_layout
+from repro.compile.routing import route_circuit
+from repro.compile.optimize import optimize_circuit
+from repro.compile.compiler import compile_circuit
+
+__all__ = [
+    "CouplingMap",
+    "compile_circuit",
+    "decompose_for_zx",
+    "decompose_to_basis",
+    "decompose_to_cx_and_singles",
+    "greedy_layout",
+    "grid_architecture",
+    "line_architecture",
+    "manhattan_architecture",
+    "optimize_circuit",
+    "ring_architecture",
+    "route_circuit",
+    "trivial_layout",
+    "zyz_angles",
+]

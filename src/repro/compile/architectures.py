@@ -1,0 +1,121 @@
+"""Device coupling maps.
+
+The paper's compilation use-case targets "the 65-qubit IBM Manhattan
+architecture"; :func:`manhattan_architecture` generates a 65-qubit
+heavy-hex lattice with the same qubit count and row/connector structure as
+that device family (see DESIGN.md for the substitution note).  Smaller
+synthetic topologies (line, ring, grid) support the unit tests and the
+paper's Fig. 2 example (a 5-qubit line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class CouplingMap:
+    """An undirected graph of physical qubits with BFS distances."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "device") -> None:
+        self.name = name
+        self.num_qubits = num_qubits
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for u, v in edges:
+            if not (0 <= u < num_qubits and 0 <= v < num_qubits):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            self.graph.add_edge(u, v)
+        if num_qubits and not nx.is_connected(self.graph):
+            raise ValueError("coupling map must be connected")
+        self._distance: Optional[Dict[int, Dict[int, int]]] = None
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def adjacent(self, u: int, v: int) -> bool:
+        """True if a two-qubit gate may act directly on ``(u, v)``."""
+        return self.graph.has_edge(u, v)
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        return tuple(self.graph.neighbors(u))
+
+    def distance(self, u: int, v: int) -> int:
+        """BFS hop distance between two physical qubits."""
+        if self._distance is None:
+            self._distance = dict(nx.all_pairs_shortest_path_length(self.graph))
+        return self._distance[u][v]
+
+    def shortest_path(self, u: int, v: int) -> List[int]:
+        """One BFS shortest path from ``u`` to ``v`` (inclusive)."""
+        return nx.shortest_path(self.graph, u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CouplingMap({self.name!r}, qubits={self.num_qubits}, "
+            f"edges={self.graph.number_of_edges()})"
+        )
+
+
+def line_architecture(num_qubits: int) -> CouplingMap:
+    """A 1-D chain — the 5-qubit instance is the paper's Fig. 2 device."""
+    return CouplingMap(
+        num_qubits,
+        [(i, i + 1) for i in range(num_qubits - 1)],
+        name=f"line-{num_qubits}",
+    )
+
+
+def ring_architecture(num_qubits: int) -> CouplingMap:
+    """A 1-D chain closed into a cycle."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(num_qubits, edges, name=f"ring-{num_qubits}")
+
+
+def grid_architecture(rows: int, cols: int) -> CouplingMap:
+    """A ``rows x cols`` nearest-neighbour grid."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+
+def manhattan_architecture() -> CouplingMap:
+    """A 65-qubit heavy-hex lattice standing in for IBM Manhattan.
+
+    Five rows of qubits (10, 10, 10, 10, 9) joined by four groups of four
+    vertical connector qubits, giving 65 qubits of degree at most three —
+    the structure of IBM's 65-qubit Hummingbird devices.
+    """
+    row_sizes = [10, 10, 10, 10, 9]
+    edges: List[Tuple[int, int]] = []
+    rows: List[List[int]] = []
+    next_qubit = 0
+    connectors: List[List[int]] = []
+    for index, size in enumerate(row_sizes):
+        row = list(range(next_qubit, next_qubit + size))
+        rows.append(row)
+        next_qubit += size
+        if index < len(row_sizes) - 1:
+            conn = list(range(next_qubit, next_qubit + 4))
+            connectors.append(conn)
+            next_qubit += 4
+    # Horizontal edges within each row.
+    for row in rows:
+        edges.extend((row[i], row[i + 1]) for i in range(len(row) - 1))
+    # Vertical connectors: alternate attachment columns (0,3,6,9) and
+    # (2,5,8,9 clipped) to create the staggered heavy-hex cells.
+    for index, conn in enumerate(connectors):
+        top, bottom = rows[index], rows[index + 1]
+        columns = (0, 3, 6, 9) if index % 2 == 0 else (2, 5, 8, 9)
+        for conn_qubit, col in zip(conn, columns):
+            edges.append((top[min(col, len(top) - 1)], conn_qubit))
+            edges.append((conn_qubit, bottom[min(col, len(bottom) - 1)]))
+    return CouplingMap(next_qubit, edges, name="manhattan-65")

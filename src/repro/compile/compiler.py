@@ -1,0 +1,69 @@
+"""End-to-end compilation flow.
+
+``compile_circuit`` reproduces the shape of the flow the paper drives
+through qiskit-terra at optimization level O1 (Section 6.1): decompose to
+the device basis (arbitrary single-qubit rotations + CNOT), place, route
+with SWAP insertion, lightly optimize — and record the initial layout and
+output permutation that the equivalence checkers need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compile.architectures import CouplingMap
+from repro.compile.decompose import decompose_to_basis
+from repro.compile.layout import greedy_layout, trivial_layout
+from repro.compile.optimize import optimize_circuit
+from repro.compile.routing import route_circuit
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    device: CouplingMap,
+    layout_method: str = "greedy",
+    optimization_level: int = 1,
+    decompose_swaps: bool = True,
+    placement: Optional[Dict[int, int]] = None,
+    routing_method: str = "basic",
+) -> QuantumCircuit:
+    """Compile a high-level circuit for a device.
+
+    Args:
+        circuit: The high-level input circuit.
+        device: Target coupling map.
+        layout_method: ``"trivial"`` or ``"greedy"`` (ignored when an
+            explicit ``placement`` is passed).
+        routing_method: ``"basic"`` or ``"lookahead"`` (see
+            :func:`repro.compile.routing.route_circuit`).
+        optimization_level: Post-routing optimization level (0-2), as in
+            :func:`repro.compile.optimize.optimize_circuit`.
+        decompose_swaps: Emit routing SWAPs as CNOT triples.
+        placement: Optional explicit initial placement
+            (*logical -> physical*).
+
+    Returns:
+        The compiled circuit on the device's qubits, with
+        ``initial_layout`` and ``output_permutation`` metadata set.
+    """
+    if circuit.initial_layout or circuit.output_permutation:
+        raise ValueError("input circuit already carries layout metadata")
+    lowered = decompose_to_basis(circuit)
+    if placement is None:
+        if layout_method == "trivial":
+            placement = trivial_layout(lowered, device)
+        elif layout_method == "greedy":
+            placement = greedy_layout(lowered, device)
+        else:
+            raise ValueError(f"unknown layout method {layout_method!r}")
+    routed = route_circuit(
+        lowered,
+        device,
+        placement,
+        decompose_swaps=decompose_swaps,
+        routing_method=routing_method,
+    )
+    optimized = optimize_circuit(routed, level=optimization_level)
+    optimized.name = f"{circuit.name}_compiled"
+    return optimized

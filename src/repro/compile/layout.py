@@ -1,0 +1,90 @@
+"""Initial placement of logical qubits on physical qubits.
+
+The layout is the compiler's first degree of freedom (paper Section 3:
+"Compilation flows use a circuit's initial layout and output permutation as
+an additional degree of freedom for saving SWAP operations").  A layout is
+returned as a mapping *logical qubit -> physical qubit*; the routed circuit
+records its inverse (*physical -> logical*) as ``initial_layout`` metadata,
+which the equivalence checkers must honour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compile.architectures import CouplingMap
+
+
+def trivial_layout(circuit: QuantumCircuit, device: CouplingMap) -> Dict[int, int]:
+    """Place logical qubit ``q`` on physical qubit ``q``."""
+    if circuit.num_qubits > device.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+    return {q: q for q in range(circuit.num_qubits)}
+
+
+def greedy_layout(circuit: QuantumCircuit, device: CouplingMap) -> Dict[int, int]:
+    """Interaction-graph driven placement.
+
+    Logical qubits are processed in decreasing two-qubit interaction
+    weight; each is placed on the free physical qubit that minimizes the
+    distance-weighted cost to its already-placed interaction partners
+    (ties broken towards well-connected physical qubits).  This is the
+    same greedy-by-interaction idea behind dense-layout passes in
+    production compilers, small enough to be exhaustively testable.
+    """
+    if circuit.num_qubits > device.num_qubits:
+        raise ValueError("circuit does not fit on the device")
+
+    interaction: Counter = Counter()
+    degree: Counter = Counter()
+    for op in circuit:
+        qubits = op.qubits
+        if len(qubits) == 2:
+            pair = tuple(sorted(qubits))
+            interaction[pair] += 1
+            degree[qubits[0]] += 1
+            degree[qubits[1]] += 1
+
+    logical_order = sorted(
+        range(circuit.num_qubits), key=lambda q: -degree[q]
+    )
+    placement: Dict[int, int] = {}
+    used = set()
+
+    # Seed: the busiest logical qubit goes on the best-connected physical one.
+    centrality = nx.degree_centrality(device.graph)
+    seed_physical = max(range(device.num_qubits), key=lambda p: centrality[p])
+
+    for logical in logical_order:
+        partners = [
+            (other, weight)
+            for (a, b), weight in interaction.items()
+            for other in ((b,) if a == logical else (a,) if b == logical else ())
+            if other in placement
+        ]
+        best_physical = None
+        best_cost = None
+        for physical in range(device.num_qubits):
+            if physical in used:
+                continue
+            if not partners:
+                cost = (
+                    0.0 if not placement and physical == seed_physical
+                    else device.distance(seed_physical, physical)
+                )
+            else:
+                cost = sum(
+                    weight * device.distance(physical, placement[other])
+                    for other, weight in partners
+                )
+            tie_break = -centrality[physical]
+            if best_cost is None or (cost, tie_break) < best_cost:
+                best_cost = (cost, tie_break)
+                best_physical = physical
+        placement[logical] = best_physical
+        used.add(best_physical)
+    return placement

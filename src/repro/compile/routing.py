@@ -1,0 +1,213 @@
+"""SWAP routing against a coupling map.
+
+Given a decomposed circuit (single-qubit gates + two-qubit gates) and an
+initial placement, the router executes gates in order, inserting SWAPs
+whenever a two-qubit gate spans non-adjacent physical qubits — dynamically
+changing the logical-to-physical mapping exactly as described in the
+paper's Section 2.2 / Example 3.  Two strategies are provided:
+
+* ``"basic"`` — walk one operand along a BFS shortest path (the classic
+  naive router),
+* ``"lookahead"`` — a SABRE-flavoured heuristic: pick each SWAP from the
+  neighbourhood of the blocked pair such that it never increases the
+  blocked pair's distance and minimizes a lookahead cost over the next
+  few two-qubit gates (fewer SWAPs on structured circuits; see the
+  ``bench_ablation_routing`` benchmark).
+
+The routed circuit is widened to the full device, annotated with its
+``initial_layout`` and ``output_permutation`` (both *physical -> logical*),
+and SWAPs are optionally decomposed into three CNOTs, which is what makes
+SWAP *reconstruction* in the DD checker a meaningful step (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+from repro.compile.architectures import CouplingMap
+
+
+#: How many upcoming two-qubit gates the lookahead strategy weighs.
+LOOKAHEAD_WINDOW = 10
+#: Decay factor for gates deeper in the lookahead window.
+LOOKAHEAD_DECAY = 0.6
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    device: CouplingMap,
+    placement: Optional[Dict[int, int]] = None,
+    decompose_swaps: bool = True,
+    routing_method: str = "basic",
+) -> QuantumCircuit:
+    """Route ``circuit`` onto ``device``.
+
+    Args:
+        circuit: Input circuit; every operation must touch at most two
+            qubits (run a decomposition pass first).
+        placement: Initial mapping *logical -> physical*; defaults to the
+            identity placement.
+        decompose_swaps: Emit routing SWAPs as three CNOTs (as a real
+            compilation flow would) instead of primitive ``swap`` gates.
+        routing_method: ``"basic"`` (BFS path walking) or ``"lookahead"``
+            (SABRE-flavoured SWAP selection).
+
+    Returns:
+        A circuit on ``device.num_qubits`` wires whose ``initial_layout``
+        and ``output_permutation`` describe where each logical qubit starts
+        and ends (*physical -> logical*).
+    """
+    if routing_method not in ("basic", "lookahead"):
+        raise ValueError(f"unknown routing method {routing_method!r}")
+    if placement is None:
+        placement = {q: q for q in range(circuit.num_qubits)}
+    if len(set(placement.values())) != len(placement):
+        raise ValueError("placement maps two logical qubits to one physical")
+    # Complete the placement to a bijection over the whole device: ancilla
+    # wires receive the unused logical indices (identity where possible),
+    # so that SWAP chains moving ancilla contents are tracked exactly and
+    # the recorded output permutation covers every wire.
+    logical_to_physical = dict(placement)
+    used_physical = set(logical_to_physical.values())
+    free_physical = [
+        p for p in range(device.num_qubits) if p not in used_physical
+    ]
+    extra_logicals = [
+        l for l in range(device.num_qubits) if l not in logical_to_physical
+    ]
+    preferred = [p for p in free_physical if p in extra_logicals]
+    others = [p for p in free_physical if p not in extra_logicals]
+    for logical in extra_logicals:
+        if logical in preferred:
+            logical_to_physical[logical] = logical
+            preferred.remove(logical)
+        else:
+            logical_to_physical[logical] = others.pop(0)
+
+    routed = QuantumCircuit(device.num_qubits, name=f"{circuit.name}_routed")
+    routed.initial_layout = {p: l for l, p in logical_to_physical.items()}
+
+    def emit_swap(a: int, b: int) -> None:
+        if decompose_swaps:
+            routed.cx(a, b)
+            routed.cx(b, a)
+            routed.cx(a, b)
+        else:
+            routed.swap(a, b)
+
+    for index, op in enumerate(circuit):
+        qubits = op.qubits
+        if len(qubits) == 1:
+            routed.append(op.remapped({qubits[0]: logical_to_physical[qubits[0]]}))
+            continue
+        if len(qubits) > 2:
+            raise ValueError(
+                f"operation {op} touches {len(qubits)} qubits; decompose first"
+            )
+        a, b = qubits
+        if not device.adjacent(
+            logical_to_physical[a], logical_to_physical[b]
+        ):
+            if routing_method == "basic":
+                _route_basic(device, logical_to_physical, a, b, emit_swap)
+            else:
+                _route_lookahead(
+                    device, logical_to_physical, a, b, emit_swap,
+                    _upcoming_pairs(circuit, index),
+                )
+        pa, pb = logical_to_physical[a], logical_to_physical[b]
+        routed.append(op.remapped({a: pa, b: pb}))
+
+    routed.output_permutation = {
+        p: l for l, p in logical_to_physical.items()
+    }
+    return routed
+
+
+def _apply_swap(
+    logical_to_physical: Dict[int, int], pa: int, pb: int
+) -> None:
+    """Exchange the logical occupants of physical wires ``pa`` and ``pb``."""
+    physical_to_logical = {p: l for l, p in logical_to_physical.items()}
+    la = physical_to_logical[pa]
+    lb = physical_to_logical[pb]
+    logical_to_physical[la] = pb
+    logical_to_physical[lb] = pa
+
+
+def _route_basic(
+    device: CouplingMap,
+    logical_to_physical: Dict[int, int],
+    a: int,
+    b: int,
+    emit_swap,
+) -> None:
+    """Walk operand ``a`` along a BFS shortest path towards ``b``."""
+    pa = logical_to_physical[a]
+    pb = logical_to_physical[b]
+    path = device.shortest_path(pa, pb)
+    for index in range(1, len(path) - 1):
+        previous, step = path[index - 1], path[index]
+        emit_swap(previous, step)
+        _apply_swap(logical_to_physical, previous, step)
+
+
+def _upcoming_pairs(
+    circuit: QuantumCircuit, index: int
+) -> List[Tuple[int, int]]:
+    """The next few two-qubit interactions after position ``index``."""
+    pairs: List[Tuple[int, int]] = []
+    for op in circuit[index + 1:]:
+        if op.num_qubits == 2:
+            pairs.append((op.qubits[0], op.qubits[1]))
+            if len(pairs) >= LOOKAHEAD_WINDOW:
+                break
+    return pairs
+
+
+def _route_lookahead(
+    device: CouplingMap,
+    logical_to_physical: Dict[int, int],
+    a: int,
+    b: int,
+    emit_swap,
+    upcoming: List[Tuple[int, int]],
+) -> None:
+    """SABRE-flavoured SWAP selection.
+
+    Candidate SWAPs are edges incident to the blocked pair's current
+    positions; only candidates that strictly decrease (or keep, when a
+    decrease exists nowhere) the blocked distance are admissible, which
+    guarantees termination; among them the one minimizing the decayed
+    lookahead cost wins.
+    """
+    while not device.adjacent(
+        logical_to_physical[a], logical_to_physical[b]
+    ):
+        pa = logical_to_physical[a]
+        pb = logical_to_physical[b]
+        blocked_distance = device.distance(pa, pb)
+        candidates = []
+        for endpoint in (pa, pb):
+            for neighbor in device.neighbors(endpoint):
+                candidates.append((endpoint, neighbor))
+        best = None
+        best_cost = None
+        for swap in candidates:
+            trial = dict(logical_to_physical)
+            _apply_swap(trial, *swap)
+            new_distance = device.distance(trial[a], trial[b])
+            if new_distance >= blocked_distance:
+                continue  # only strict progress keeps this loop finite
+            cost = float(new_distance)
+            weight = LOOKAHEAD_DECAY
+            for qa, qb in upcoming:
+                cost += weight * device.distance(trial[qa], trial[qb])
+                weight *= LOOKAHEAD_DECAY
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = swap
+        emit_swap(*best)
+        _apply_swap(logical_to_physical, *best)

@@ -1,0 +1,41 @@
+"""Quantum multiple-valued decision diagrams (QMDDs).
+
+A pure-Python re-implementation of the decision-diagram package underlying
+QCEC (Section 4 of the paper): edge-weighted, normalized, canonical decision
+diagrams for quantum state vectors and unitary matrices, with
+
+* a tolerance-aware *complex table* that merges numerically close edge
+  weights (the mechanism whose failure under rounding errors causes the DD
+  blow-up discussed in Section 6.2),
+* *unique tables* that guarantee canonicity — two equal (sub-)functions are
+  represented by the very same node object, and
+* *compute tables* memoizing addition, multiplication, conjugation, traces
+  and inner products.
+
+The package operates on the shared circuit IR of :mod:`repro.circuit`.
+"""
+
+from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
+from repro.dd.node import MEdge, MNode, VEdge, VNode, TERMINAL
+from repro.dd.package import DDPackage
+from repro.dd.export import (
+    edge_to_matrix,
+    edge_to_vector,
+    matrix_dd_size,
+    vector_dd_size,
+)
+
+__all__ = [
+    "ComplexTable",
+    "DEFAULT_TOLERANCE",
+    "DDPackage",
+    "MEdge",
+    "MNode",
+    "VEdge",
+    "VNode",
+    "TERMINAL",
+    "edge_to_matrix",
+    "edge_to_vector",
+    "matrix_dd_size",
+    "vector_dd_size",
+]

@@ -1,0 +1,148 @@
+"""Exporting decision diagrams to dense arrays and size statistics.
+
+Dense export is exponential and exists for testing and for the small
+illustrative figures (paper Fig. 1b / Fig. 3); size statistics drive the
+DD-growth experiments of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+from repro.dd.node import MEdge, TERMINAL, VEdge
+
+
+def edge_to_vector(edge: VEdge, num_qubits: int) -> np.ndarray:
+    """Expand a vector diagram into a dense ``2^n`` numpy array."""
+    out = np.zeros(2**num_qubits, dtype=complex)
+    _fill_vector(edge, 0, 1 + 0j, out)
+    return out
+
+
+def _fill_vector(edge: VEdge, offset: int, factor: complex, out: np.ndarray) -> None:
+    if edge.is_zero:
+        return
+    factor = factor * edge.weight
+    if edge.node is TERMINAL:
+        out[offset] += factor
+        return
+    node = edge.node
+    half = 1 << node.level
+    _fill_vector(node.edges[0], offset, factor, out)
+    _fill_vector(node.edges[1], offset + half, factor, out)
+
+
+def edge_to_matrix(edge: MEdge, num_qubits: int) -> np.ndarray:
+    """Expand a matrix diagram into a dense ``2^n x 2^n`` numpy array."""
+    dim = 2**num_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    _fill_matrix(edge, 0, 0, 1 + 0j, out)
+    return out
+
+
+def _fill_matrix(
+    edge: MEdge, row: int, col: int, factor: complex, out: np.ndarray
+) -> None:
+    if edge.is_zero:
+        return
+    factor = factor * edge.weight
+    if edge.node is TERMINAL:
+        out[row, col] += factor
+        return
+    node = edge.node
+    half = 1 << node.level
+    _fill_matrix(node.edges[0], row, col, factor, out)
+    _fill_matrix(node.edges[1], row, col + half, factor, out)
+    _fill_matrix(node.edges[2], row + half, col, factor, out)
+    _fill_matrix(node.edges[3], row + half, col + half, factor, out)
+
+
+def vector_dd_size(edge: VEdge) -> int:
+    """Number of distinct non-terminal nodes reachable from ``edge``."""
+    seen: Set[int] = set()
+    _count_vector(edge, seen)
+    return len(seen)
+
+
+def _count_vector(edge: VEdge, seen: Set[int]) -> None:
+    node = edge.node
+    if node is TERMINAL or edge.is_zero or id(node) in seen:
+        return
+    seen.add(id(node))
+    for child in node.edges:
+        _count_vector(child, seen)
+
+
+def matrix_dd_size(edge: MEdge) -> int:
+    """Number of distinct non-terminal nodes reachable from ``edge``.
+
+    This is the "size of the decision diagram" metric of the paper's
+    Section 6.2 discussion (the quantity that blows up under numerical
+    noise for arbitrary-angle circuits).
+    """
+    seen: Set[int] = set()
+    _count_matrix(edge, seen)
+    return len(seen)
+
+
+def _count_matrix(edge: MEdge, seen: Set[int]) -> None:
+    node = edge.node
+    if node is TERMINAL or edge.is_zero or id(node) in seen:
+        return
+    seen.add(id(node))
+    for child in node.edges:
+        _count_matrix(child, seen)
+
+
+def matrix_dd_to_dot(edge: MEdge, name: str = "dd") -> str:
+    """Graphviz DOT rendering of a matrix decision diagram.
+
+    Follows the visualization style of Wille et al., "Visualizing decision
+    diagrams for quantum computing" (reference [37] of the paper): edge
+    labels carry the complex weights, node labels the decided qubit level,
+    and the four outgoing edges are ordered ``(00, 01, 10, 11)``.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  root [shape=point];']
+    ids = {}
+
+    def node_id(node) -> str:
+        if node is TERMINAL:
+            return "terminal"
+        if id(node) not in ids:
+            ids[id(node)] = f"n{len(ids)}"
+        return ids[id(node)]
+
+    def weight_label(weight: complex) -> str:
+        return f"{weight.real:.4g}{weight.imag:+.4g}i"
+
+    visited = set()
+
+    def walk(current: MEdge) -> None:
+        node = current.node
+        if node is TERMINAL or id(node) in visited:
+            return
+        visited.add(id(node))
+        lines.append(
+            f'  {node_id(node)} [label="q{node.level}", shape=circle];'
+        )
+        for index, child in enumerate(node.edges):
+            if child.is_zero:
+                continue
+            label = f"{index >> 1}{index & 1}"
+            lines.append(
+                f"  {node_id(node)} -> {node_id(child.node)} "
+                f'[label="{label}: {weight_label(child.weight)}"];'
+            )
+            walk(child)
+
+    lines.append('  terminal [label="1", shape=box];')
+    if not edge.is_zero:
+        lines.append(
+            f"  root -> {node_id(edge.node)} "
+            f'[label="{weight_label(edge.weight)}"];'
+        )
+        walk(edge)
+    lines.append("}")
+    return "\n".join(lines)

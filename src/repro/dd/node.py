@@ -1,0 +1,130 @@
+"""Node and edge types of the decision-diagram package.
+
+A decision diagram is a DAG of nodes; every node belongs to a *level*
+(the index of the qubit it decides on — level 0 is the least significant
+qubit, the root of an ``n``-qubit diagram sits at level ``n - 1``).  Edges
+carry complex weights; the represented function of an edge is the weight
+times the function of the node it points to.
+
+* :class:`VNode` — vector nodes with two successors (``|0>`` and ``|1>``
+  branch of the decided qubit).
+* :class:`MNode` — matrix nodes with four successors in row-major order
+  ``(U00, U01, U10, U11)``, where ``U_ij`` is the sub-matrix mapping the
+  decided qubit from ``j`` to ``i`` (exactly the decomposition of Section 4
+  of the paper).
+
+Both share the unique :data:`TERMINAL` node at level ``-1`` representing the
+scalar 1.  Node objects are only ever created through the unique tables of
+:class:`repro.dd.package.DDPackage`, hence structural equality of canonical
+diagrams reduces to object identity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class _Terminal:
+    """The unique terminal node (scalar 1) shared by all diagrams."""
+
+    __slots__ = ()
+    level = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TERMINAL"
+
+
+#: The one terminal node.
+TERMINAL = _Terminal()
+
+
+class VNode:
+    """A vector decision-diagram node with ``|0>`` / ``|1>`` successors."""
+
+    __slots__ = ("level", "edges")
+
+    def __init__(self, level: int, edges: Tuple["VEdge", "VEdge"]) -> None:
+        self.level = level
+        self.edges = edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VNode(level={self.level})"
+
+
+class MNode:
+    """A matrix decision-diagram node with four block successors."""
+
+    __slots__ = ("level", "edges")
+
+    def __init__(
+        self, level: int, edges: Tuple["MEdge", "MEdge", "MEdge", "MEdge"]
+    ) -> None:
+        self.level = level
+        self.edges = edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MNode(level={self.level})"
+
+
+class VEdge:
+    """A weighted edge into a vector diagram."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node, weight: complex) -> None:
+        self.node = node
+        self.weight = weight
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VEdge)
+            and self.node is other.node
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.node), self.weight))
+
+    @property
+    def is_zero(self) -> bool:
+        """True if this edge represents the zero vector."""
+        return self.weight == 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.node is TERMINAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VEdge({self.node!r}, {self.weight})"
+
+
+class MEdge:
+    """A weighted edge into a matrix diagram."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node, weight: complex) -> None:
+        self.node = node
+        self.weight = weight
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MEdge)
+            and self.node is other.node
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.node), self.weight))
+
+    @property
+    def is_zero(self) -> bool:
+        """True if this edge represents the zero matrix."""
+        return self.weight == 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.node is TERMINAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MEdge({self.node!r}, {self.weight})"

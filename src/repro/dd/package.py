@@ -1,0 +1,470 @@
+"""The decision-diagram package: unique tables, compute tables, algebra.
+
+This is the algorithmic core of the DD-based equivalence checking paradigm
+(Section 4 of the paper).  All diagrams handled by one :class:`DDPackage`
+share its complex table, unique tables and compute tables; nodes are
+canonical, i.e. two (sub-)diagrams represent the same function *iff* they
+are the same Python object (up to the merging tolerance of the complex
+table).
+
+Levels are never skipped: an ``n``-qubit diagram always contains a node on
+every path for every level, which keeps the algebra simple and matches the
+explicit-level representation of the QMDD literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
+from repro.dd.node import MEdge, MNode, TERMINAL, VEdge, VNode
+
+#: Compute tables are cleared once they exceed this many entries.
+_COMPUTE_TABLE_LIMIT = 1_000_000
+
+
+class DDPackage:
+    """Factory and algebra for canonical vector / matrix decision diagrams."""
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        self.complex_table = ComplexTable(tolerance)
+        self._vector_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], VNode] = {}
+        self._matrix_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], MNode] = {}
+        self._add_cache: Dict[Tuple[int, int, complex], MEdge] = {}
+        self._add_vec_cache: Dict[Tuple[int, int, complex], VEdge] = {}
+        self._mul_cache: Dict[Tuple[int, int], MEdge] = {}
+        self._mul_vec_cache: Dict[Tuple[int, int], VEdge] = {}
+        self._conj_cache: Dict[int, MEdge] = {}
+        self._trace_cache: Dict[int, complex] = {}
+        self._inner_cache: Dict[Tuple[int, int], complex] = {}
+        self._identity_cache: Dict[int, MEdge] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def tolerance(self) -> float:
+        return self.complex_table.tolerance
+
+    def clear_compute_tables(self) -> None:
+        """Drop all memoized operation results (unique tables survive)."""
+        self._add_cache.clear()
+        self._add_vec_cache.clear()
+        self._mul_cache.clear()
+        self._mul_vec_cache.clear()
+        self._conj_cache.clear()
+        self._trace_cache.clear()
+        self._inner_cache.clear()
+
+    def num_unique_matrix_nodes(self) -> int:
+        """Total matrix nodes ever created by this package."""
+        return len(self._matrix_unique)
+
+    def num_unique_vector_nodes(self) -> int:
+        """Total vector nodes ever created by this package."""
+        return len(self._vector_unique)
+
+    def _guard_cache(self, cache: Dict) -> None:
+        if len(cache) > _COMPUTE_TABLE_LIMIT:
+            cache.clear()
+
+    # ------------------------------------------------------------------
+    # construction with normalization
+    # ------------------------------------------------------------------
+    def lookup(self, value: complex) -> complex:
+        """Intern a complex number in the package's complex table."""
+        return self.complex_table.lookup(value)
+
+    def _normalize(self, weights: List[complex]) -> Tuple[List[complex], complex]:
+        """Normalize edge weights, returning (normalized, common factor).
+
+        The edge with the largest magnitude (lowest index on exact ties)
+        is scaled to exactly 1; its original weight becomes the common
+        factor pulled out of the node.
+        """
+        max_index = 0
+        max_mag = -1.0
+        for index, weight in enumerate(weights):
+            mag = abs(weight)
+            if mag > max_mag:
+                max_mag = mag
+                max_index = index
+        norm = weights[max_index]
+        if norm == 0:
+            return [0j] * len(weights), 0j
+        normalized = []
+        for index, weight in enumerate(weights):
+            if index == max_index:
+                normalized.append(1 + 0j)
+            elif weight == 0:
+                normalized.append(0j)
+            else:
+                normalized.append(self.lookup(weight / norm))
+        return normalized, self.lookup(norm)
+
+    def make_vector_node(self, level: int, edges: Tuple[VEdge, VEdge]) -> VEdge:
+        """Create (or reuse) a normalized vector node; returns its edge."""
+        weights, factor = self._normalize([e.weight for e in edges])
+        if factor == 0:
+            return self.zero_vector_edge()
+        children = tuple(
+            VEdge(TERMINAL, 0j) if w == 0 else VEdge(e.node, w)
+            for e, w in zip(edges, weights)
+        )
+        key = (level, tuple((id(c.node), c.weight) for c in children))
+        node = self._vector_unique.get(key)
+        if node is None:
+            node = VNode(level, children)
+            self._vector_unique[key] = node
+        return VEdge(node, factor)
+
+    def make_matrix_node(
+        self, level: int, edges: Tuple[MEdge, MEdge, MEdge, MEdge]
+    ) -> MEdge:
+        """Create (or reuse) a normalized matrix node; returns its edge."""
+        weights, factor = self._normalize([e.weight for e in edges])
+        if factor == 0:
+            return self.zero_matrix_edge()
+        children = tuple(
+            MEdge(TERMINAL, 0j) if w == 0 else MEdge(e.node, w)
+            for e, w in zip(edges, weights)
+        )
+        key = (level, tuple((id(c.node), c.weight) for c in children))
+        node = self._matrix_unique.get(key)
+        if node is None:
+            node = MNode(level, children)
+            self._matrix_unique[key] = node
+        return MEdge(node, factor)
+
+    # ------------------------------------------------------------------
+    # elementary diagrams
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero_vector_edge() -> VEdge:
+        """The zero vector (an edge of weight 0)."""
+        return VEdge(TERMINAL, 0j)
+
+    @staticmethod
+    def zero_matrix_edge() -> MEdge:
+        """The zero matrix (an edge of weight 0)."""
+        return MEdge(TERMINAL, 0j)
+
+    @staticmethod
+    def terminal_vector_edge(weight: complex = 1 + 0j) -> VEdge:
+        return VEdge(TERMINAL, weight)
+
+    @staticmethod
+    def terminal_matrix_edge(weight: complex = 1 + 0j) -> MEdge:
+        return MEdge(TERMINAL, weight)
+
+    def basis_state(self, num_qubits: int, bits: int = 0) -> VEdge:
+        """The computational basis state ``|bits>`` on ``num_qubits``."""
+        edge = self.terminal_vector_edge()
+        for level in range(num_qubits):
+            zero = self.zero_vector_edge()
+            if (bits >> level) & 1:
+                edge = self.make_vector_node(level, (zero, edge))
+            else:
+                edge = self.make_vector_node(level, (edge, zero))
+        return edge
+
+    def identity(self, num_qubits: int) -> MEdge:
+        """The identity matrix DD — linear in ``num_qubits`` (paper Fig. 3b)."""
+        cached = self._identity_cache.get(num_qubits)
+        if cached is not None:
+            return cached
+        edge = self.terminal_matrix_edge()
+        for level in range(num_qubits):
+            zero = self.zero_matrix_edge()
+            edge = self.make_matrix_node(level, (edge, zero, zero, edge))
+        self._identity_cache[num_qubits] = edge
+        return edge
+
+    def layered_kron(
+        self, num_qubits: int, factors: Dict[int, "np.ndarray"]
+    ) -> MEdge:
+        """Build ``F_{n-1} ⊗ ... ⊗ F_1 ⊗ F_0`` with identity defaults.
+
+        ``factors`` maps qubit index to a 2x2 complex matrix; unspecified
+        qubits contribute the identity.  This is the workhorse used by the
+        gate constructors in :mod:`repro.dd.gates`.
+        """
+        edge = self.terminal_matrix_edge()
+        for level in range(num_qubits):
+            factor = factors.get(level)
+            if factor is None:
+                zero = self.zero_matrix_edge()
+                edge = self.make_matrix_node(level, (edge, zero, zero, edge))
+            else:
+                children = []
+                for i in (0, 1):
+                    for j in (0, 1):
+                        value = complex(factor[i][j])
+                        if value == 0 or edge.is_zero:
+                            children.append(self.zero_matrix_edge())
+                        else:
+                            children.append(
+                                MEdge(edge.node, self.lookup(value * edge.weight))
+                            )
+                edge = self.make_matrix_node(level, tuple(children))
+        return edge
+
+    # ------------------------------------------------------------------
+    # addition
+    # ------------------------------------------------------------------
+    def add(self, a: MEdge, b: MEdge) -> MEdge:
+        """Matrix addition ``A + B``."""
+        if a.is_zero:
+            return b
+        if b.is_zero:
+            return a
+        if a.node is TERMINAL and b.node is TERMINAL:
+            return MEdge(TERMINAL, self.lookup(a.weight + b.weight))
+        # Canonical operand order for the cache.
+        if id(a.node) > id(b.node):
+            a, b = b, a
+        ratio = self.lookup(b.weight / a.weight)
+        key = (id(a.node), id(b.node), ratio)
+        cached = self._add_cache.get(key)
+        if cached is not None:
+            return MEdge(cached.node, self.lookup(cached.weight * a.weight))
+        node_a, node_b = a.node, b.node
+        if node_a.level != node_b.level:
+            raise ValueError("cannot add diagrams of different height")
+        children = tuple(
+            self.add(
+                MEdge(ea.node, ea.weight),
+                MEdge(eb.node, self.lookup(eb.weight * ratio)),
+            )
+            for ea, eb in zip(node_a.edges, node_b.edges)
+        )
+        result = self.make_matrix_node(node_a.level, children)
+        self._guard_cache(self._add_cache)
+        self._add_cache[key] = result
+        return MEdge(result.node, self.lookup(result.weight * a.weight))
+
+    def add_vectors(self, a: VEdge, b: VEdge) -> VEdge:
+        """Vector addition ``|a> + |b>``."""
+        if a.is_zero:
+            return b
+        if b.is_zero:
+            return a
+        if a.node is TERMINAL and b.node is TERMINAL:
+            return VEdge(TERMINAL, self.lookup(a.weight + b.weight))
+        if id(a.node) > id(b.node):
+            a, b = b, a
+        ratio = self.lookup(b.weight / a.weight)
+        key = (id(a.node), id(b.node), ratio)
+        cached = self._add_vec_cache.get(key)
+        if cached is not None:
+            return VEdge(cached.node, self.lookup(cached.weight * a.weight))
+        node_a, node_b = a.node, b.node
+        if node_a.level != node_b.level:
+            raise ValueError("cannot add diagrams of different height")
+        children = tuple(
+            self.add_vectors(
+                VEdge(ea.node, ea.weight),
+                VEdge(eb.node, self.lookup(eb.weight * ratio)),
+            )
+            for ea, eb in zip(node_a.edges, node_b.edges)
+        )
+        result = self.make_vector_node(node_a.level, children)
+        self._guard_cache(self._add_vec_cache)
+        self._add_vec_cache[key] = result
+        return VEdge(result.node, self.lookup(result.weight * a.weight))
+
+    # ------------------------------------------------------------------
+    # multiplication
+    # ------------------------------------------------------------------
+    def multiply(self, a: MEdge, b: MEdge) -> MEdge:
+        """Matrix product ``A @ B``."""
+        if a.is_zero or b.is_zero:
+            return self.zero_matrix_edge()
+        weight = self.lookup(a.weight * b.weight)
+        result = self._multiply_nodes(a.node, b.node)
+        if result.is_zero:
+            return result
+        return MEdge(result.node, self.lookup(result.weight * weight))
+
+    def _multiply_nodes(self, node_a, node_b) -> MEdge:
+        if node_a is TERMINAL and node_b is TERMINAL:
+            return self.terminal_matrix_edge()
+        key = (id(node_a), id(node_b))
+        cached = self._mul_cache.get(key)
+        if cached is not None:
+            return cached
+        if node_a.level != node_b.level:
+            raise ValueError("cannot multiply diagrams of different height")
+        a = node_a.edges
+        b = node_b.edges
+        children = []
+        for i in (0, 1):
+            for j in (0, 1):
+                term0 = self._scaled_multiply(a[2 * i + 0], b[0 + j])
+                term1 = self._scaled_multiply(a[2 * i + 1], b[2 + j])
+                children.append(self.add(term0, term1))
+        result = self.make_matrix_node(node_a.level, tuple(children))
+        self._guard_cache(self._mul_cache)
+        self._mul_cache[key] = result
+        return result
+
+    def _scaled_multiply(self, a: MEdge, b: MEdge) -> MEdge:
+        if a.is_zero or b.is_zero:
+            return self.zero_matrix_edge()
+        sub = self._multiply_nodes(a.node, b.node)
+        if sub.is_zero:
+            return sub
+        return MEdge(sub.node, self.lookup(sub.weight * a.weight * b.weight))
+
+    def multiply_matrix_vector(self, a: MEdge, v: VEdge) -> VEdge:
+        """Matrix-vector product ``A |v>`` (DD-based simulation step)."""
+        if a.is_zero or v.is_zero:
+            return self.zero_vector_edge()
+        weight = self.lookup(a.weight * v.weight)
+        result = self._multiply_mv_nodes(a.node, v.node)
+        if result.is_zero:
+            return result
+        return VEdge(result.node, self.lookup(result.weight * weight))
+
+    def _multiply_mv_nodes(self, node_a, node_v) -> VEdge:
+        if node_a is TERMINAL and node_v is TERMINAL:
+            return self.terminal_vector_edge()
+        key = (id(node_a), id(node_v))
+        cached = self._mul_vec_cache.get(key)
+        if cached is not None:
+            return cached
+        if node_a.level != node_v.level:
+            raise ValueError("cannot multiply diagrams of different height")
+        a = node_a.edges
+        v = node_v.edges
+        children = []
+        for i in (0, 1):
+            term0 = self._scaled_multiply_mv(a[2 * i + 0], v[0])
+            term1 = self._scaled_multiply_mv(a[2 * i + 1], v[1])
+            children.append(self.add_vectors(term0, term1))
+        result = self.make_vector_node(node_a.level, tuple(children))
+        self._guard_cache(self._mul_vec_cache)
+        self._mul_vec_cache[key] = result
+        return result
+
+    def _scaled_multiply_mv(self, a: MEdge, v: VEdge) -> VEdge:
+        if a.is_zero or v.is_zero:
+            return self.zero_vector_edge()
+        sub = self._multiply_mv_nodes(a.node, v.node)
+        if sub.is_zero:
+            return sub
+        return VEdge(sub.node, self.lookup(sub.weight * a.weight * v.weight))
+
+    # ------------------------------------------------------------------
+    # conjugation, traces, inner products
+    # ------------------------------------------------------------------
+    def conjugate_transpose(self, a: MEdge) -> MEdge:
+        """The adjoint ``A†`` of a matrix diagram."""
+        if a.is_zero:
+            return a
+        result = self._conjugate_node(a.node)
+        return MEdge(
+            result.node, self.lookup(result.weight * a.weight.conjugate())
+        )
+
+    def _conjugate_node(self, node) -> MEdge:
+        if node is TERMINAL:
+            return self.terminal_matrix_edge()
+        cached = self._conj_cache.get(id(node))
+        if cached is not None:
+            return cached
+        e = node.edges
+        children = []
+        # adjoint: transpose block positions (swap 01 and 10), conjugate weights
+        for source in (e[0], e[2], e[1], e[3]):
+            if source.is_zero:
+                children.append(self.zero_matrix_edge())
+            else:
+                sub = self._conjugate_node(source.node)
+                children.append(
+                    MEdge(
+                        sub.node,
+                        self.lookup(sub.weight * source.weight.conjugate()),
+                    )
+                )
+        result = self.make_matrix_node(node.level, tuple(children))
+        self._guard_cache(self._conj_cache)
+        self._conj_cache[id(node)] = result
+        return result
+
+    def trace(self, a: MEdge) -> complex:
+        """The trace of a matrix diagram."""
+        if a.is_zero:
+            return 0j
+        return a.weight * self._trace_node(a.node)
+
+    def _trace_node(self, node) -> complex:
+        if node is TERMINAL:
+            return 1 + 0j
+        cached = self._trace_cache.get(id(node))
+        if cached is not None:
+            return cached
+        e = node.edges
+        value = 0j
+        if not e[0].is_zero:
+            value += e[0].weight * self._trace_node(e[0].node)
+        if not e[3].is_zero:
+            value += e[3].weight * self._trace_node(e[3].node)
+        self._guard_cache(self._trace_cache)
+        self._trace_cache[id(node)] = value
+        return value
+
+    def inner_product(self, a: VEdge, b: VEdge) -> complex:
+        """The inner product ``<a|b>`` of two vector diagrams."""
+        if a.is_zero or b.is_zero:
+            return 0j
+        return (
+            a.weight.conjugate() * b.weight * self._inner_nodes(a.node, b.node)
+        )
+
+    def _inner_nodes(self, node_a, node_b) -> complex:
+        if node_a is TERMINAL and node_b is TERMINAL:
+            return 1 + 0j
+        key = (id(node_a), id(node_b))
+        cached = self._inner_cache.get(key)
+        if cached is not None:
+            return cached
+        value = 0j
+        for ea, eb in zip(node_a.edges, node_b.edges):
+            if not ea.is_zero and not eb.is_zero:
+                value += (
+                    ea.weight.conjugate()
+                    * eb.weight
+                    * self._inner_nodes(ea.node, eb.node)
+                )
+        self._guard_cache(self._inner_cache)
+        self._inner_cache[key] = value
+        return value
+
+    def fidelity(self, a: VEdge, b: VEdge) -> float:
+        """``|<a|b>|^2`` between two (normalized) state diagrams."""
+        overlap = self.inner_product(a, b)
+        return abs(overlap) ** 2
+
+    # ------------------------------------------------------------------
+    # equivalence predicates
+    # ------------------------------------------------------------------
+    def is_identity(
+        self, a: MEdge, num_qubits: int, up_to_global_phase: bool = True
+    ) -> bool:
+        """Structural identity test against the canonical identity DD."""
+        identity = self.identity(num_qubits)
+        if a.node is not identity.node:
+            return False
+        if up_to_global_phase:
+            return abs(abs(a.weight) - 1.0) <= 16 * self.tolerance
+        return abs(a.weight - 1.0) <= 16 * self.tolerance
+
+    def hilbert_schmidt_fidelity(self, a: MEdge, num_qubits: int) -> float:
+        """``|tr(A)| / 2^n`` — 1.0 iff ``A`` is a global-phase identity.
+
+        During the alternating equivalence check ``A`` *is* the accumulated
+        product ``U† U'``, so this realizes the paper's Section 3 check
+        without any extra DD multiplication.
+        """
+        return abs(self.trace(a)) / float(2**num_qubits)

@@ -1,0 +1,55 @@
+"""Equivalence checking of quantum circuits — the paper's core subject.
+
+Strategies (Sections 4-5 of the paper):
+
+* ``construction`` — build both circuits' full system-matrix DDs and
+  compare canonical root pointers (the naive baseline of Section 4.1),
+* ``alternating`` — build the DD of ``G' G†`` from the middle outwards,
+  choosing sides with an *oracle* so the intermediate diagram stays close
+  to the identity, with qubit-permutation tracking and SWAP reconstruction,
+* ``simulation`` — random-stimuli DD simulation runs that prove
+  non-equivalence after a few shots,
+* ``zx`` — compose one circuit with the other's adjoint as a ZX-diagram
+  and ``full_reduce`` towards a bare-wire permutation,
+* ``combined`` — QCEC's default: simulations for fast falsification plus
+  the alternating scheme for proof (the configuration the case study runs).
+
+Entry point::
+
+    from repro.ec import EquivalenceCheckingManager, Configuration
+
+    result = EquivalenceCheckingManager(circuit1, circuit2).run()
+    result.considered_equivalent  # bool
+"""
+
+from repro.ec.configuration import Configuration
+from repro.ec.results import Equivalence, EquivalenceCheckingResult
+from repro.ec.permutations import reconstruct_swaps, to_logical_form
+from repro.ec.dd_checker import (
+    AlternatingChecker,
+    ConstructionChecker,
+    alternating_dd_check,
+    construction_dd_check,
+)
+from repro.ec.sim_checker import simulation_check
+from repro.ec.stab_checker import stabilizer_check
+from repro.ec.state_checker import state_check
+from repro.ec.zx_checker import zx_check
+from repro.ec.manager import EquivalenceCheckingManager
+
+__all__ = [
+    "AlternatingChecker",
+    "Configuration",
+    "ConstructionChecker",
+    "Equivalence",
+    "EquivalenceCheckingManager",
+    "EquivalenceCheckingResult",
+    "alternating_dd_check",
+    "construction_dd_check",
+    "reconstruct_swaps",
+    "simulation_check",
+    "stabilizer_check",
+    "state_check",
+    "to_logical_form",
+    "zx_check",
+]

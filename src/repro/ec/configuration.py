@@ -1,0 +1,83 @@
+"""Configuration of an equivalence check."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dd.complex_table import DEFAULT_TOLERANCE
+
+
+@dataclass
+class Configuration:
+    """Tunable knobs of :class:`repro.ec.EquivalenceCheckingManager`.
+
+    Attributes:
+        strategy: ``"construction"``, ``"alternating"``, ``"simulation"``,
+            ``"zx"``, ``"combined"`` (the paper's QCEC setup) or
+            ``"stabilizer"`` (exact Clifford-only pre-check; a
+            reproduction extension) or ``"state"`` (equivalence of the
+            prepared states from ``|0...0>`` only).
+        oracle: Gate-selection oracle of the alternating scheme —
+            ``"naive"`` (strict 1:1 alternation), ``"proportional"``
+            (alternation weighted by the gate-count ratio, QCEC's default
+            for unknown circuit relations), ``"lookahead"`` (greedily
+            pick the side whose application keeps the DD smaller) or
+            ``"compilation_flow"`` (per-gate decomposition-cost profile,
+            the dedicated oracle for verifying compilation results —
+            reference [38] of the paper).
+        num_simulations: Random-stimuli runs for the simulation strategy
+            (the paper runs "a sequence of 16 simulation runs").
+        stimuli_type: Family of random stimuli — ``"classical"`` (basis
+            states, QCEC's default), ``"local_quantum"`` (random product
+            stabilizer states) or ``"global_quantum"`` (random entangled
+            stabilizer states); see :mod:`repro.ec.stimuli` / [45].
+        tolerance: Numerical tolerance of the DD package's complex table.
+        fidelity_threshold: Deviation of the Hilbert-Schmidt fidelity /
+            per-stimulus fidelity below which circuits count as
+            non-equivalent.
+        timeout: Wall-clock budget in seconds (None = unlimited); mirrors
+            the paper's 1 h hard timeout, scaled to reproduction sizes.
+        reconstruct_swaps: Re-assemble CNOT triples into SWAPs so they can
+            be absorbed into the tracked permutation (Section 4.1).
+        elide_permutations: Absorb SWAP gates into the tracked qubit
+            permutation instead of multiplying them into the DD.
+        trace_sizes: Record the intermediate DD size after every gate
+            application (drives the Fig. 4-style experiments).
+        seed: Seed for the simulation strategy's random stimuli.
+    """
+
+    strategy: str = "combined"
+    oracle: str = "proportional"
+    num_simulations: int = 16
+    stimuli_type: str = "classical"
+    tolerance: float = DEFAULT_TOLERANCE
+    fidelity_threshold: float = 1e-8
+    timeout: Optional[float] = None
+    reconstruct_swaps: bool = True
+    elide_permutations: bool = True
+    trace_sizes: bool = False
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        strategies = {
+            "construction", "alternating", "simulation", "zx", "combined",
+            "stabilizer", "state",
+        }
+        if self.strategy not in strategies:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.oracle not in (
+            "naive", "proportional", "lookahead", "compilation_flow",
+        ):
+            raise ValueError(f"unknown oracle {self.oracle!r}")
+        if self.num_simulations < 1:
+            raise ValueError("num_simulations must be at least 1")
+        from repro.ec.stimuli import STIMULI_TYPES
+
+        if self.stimuli_type not in STIMULI_TYPES:
+            raise ValueError(f"unknown stimuli type {self.stimuli_type!r}")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive or None")

@@ -1,0 +1,75 @@
+"""Result types of an equivalence check."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Equivalence(enum.Enum):
+    """Verdict of an equivalence check.
+
+    ``PROBABLY_EQUIVALENT`` is the simulation strategy's positive outcome:
+    every random stimulus agreed, which is strong evidence but no proof
+    (Section 6.2 discusses exactly this asymmetry).  ``NO_INFORMATION`` is
+    the ZX checker's outcome when the reduced diagram is neither a
+    permutation nor refutable — the incompleteness the paper highlights.
+    """
+
+    EQUIVALENT = "equivalent"
+    EQUIVALENT_UP_TO_GLOBAL_PHASE = "equivalent_up_to_global_phase"
+    PROBABLY_EQUIVALENT = "probably_equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    NO_INFORMATION = "no_information"
+    TIMEOUT = "timeout"
+
+
+#: Verdicts that count as a positive result in the case-study tables.
+_POSITIVE = {
+    Equivalence.EQUIVALENT,
+    Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+    Equivalence.PROBABLY_EQUIVALENT,
+}
+
+
+@dataclass
+class EquivalenceCheckingResult:
+    """Outcome of one equivalence check.
+
+    Attributes:
+        equivalence: The verdict.
+        strategy: Which strategy produced the verdict.
+        time: Wall-clock seconds spent.
+        statistics: Strategy-specific counters — e.g. ``max_dd_size``,
+            ``simulations_run``, ``zx_rewrites``, ``spiders_remaining``,
+            ``dd_size_trace``.
+    """
+
+    equivalence: Equivalence
+    strategy: str
+    time: float = 0.0
+    statistics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def considered_equivalent(self) -> bool:
+        """True for any positive verdict (incl. probably-equivalent)."""
+        return self.equivalence in _POSITIVE
+
+    @property
+    def proven(self) -> bool:
+        """True if the verdict is a proof rather than evidence."""
+        return self.equivalence in (
+            Equivalence.EQUIVALENT,
+            Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+            Equivalence.NOT_EQUIVALENT,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.equivalence.value} [{self.strategy}] in {self.time:.3f}s"
+        )
+
+
+class EquivalenceCheckingTimeout(Exception):
+    """Raised internally when a checker exceeds its wall-clock budget."""

@@ -1,0 +1,18 @@
+"""Stabilizer-tableau substrate (Aaronson-Gottesman style).
+
+An independent, exact engine for *Clifford* circuits: gates act on a
+binary symplectic tableau in ``O(n)`` per gate, so Clifford equivalence
+checking is polynomial — in contrast to the general QMA-complete problem
+the paper studies.  Inside the reproduction it serves two roles:
+
+* a third ground truth (besides dense matrices and the DD package) that
+  the test suite cross-validates the DD and ZX engines against on random
+  Clifford circuits, and
+* a fast exact pre-check for the Clifford fragment
+  (:func:`repro.ec.stab_checker.stabilizer_check`), complementing the two
+  paradigms of the case study.
+"""
+
+from repro.stab.tableau import CliffordTableau, NonCliffordGateError
+
+__all__ = ["CliffordTableau", "NonCliffordGateError"]

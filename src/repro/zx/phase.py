@@ -1,0 +1,87 @@
+"""Spider phases, stored in units of pi.
+
+Phases are kept *exact* whenever possible: a phase is either a
+:class:`fractions.Fraction` (``Fraction(1, 2)`` means pi/2) or, for truly
+arbitrary angles, a float (also in units of pi).  Floats that are within
+``SNAP_TOLERANCE`` of a small-denominator fraction are snapped to the exact
+fraction on insertion.
+
+This mirrors the behaviour the paper attributes to the ZX paradigm in
+Section 6.2: phases merely *add* during rewriting, so numerical error does
+not compound structurally — and dyadic phases (Clifford+T circuits, QFT
+angles) stay exact throughout.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+Phase = Union[Fraction, float]
+
+#: Maximum denominator considered when snapping float phases to fractions.
+SNAP_MAX_DENOMINATOR = 1 << 12
+#: Absolute snapping tolerance, in units of pi.
+SNAP_TOLERANCE = 1e-9
+
+_PI = 3.141592653589793
+
+
+def normalize_phase(phase: Phase) -> Phase:
+    """Reduce a phase to the half-open interval ``[0, 2)`` (units of pi).
+
+    Float phases close to a dyadic fraction are converted to the exact
+    :class:`Fraction`; everything else stays a float.
+    """
+    if isinstance(phase, Fraction):
+        return phase % 2
+    if isinstance(phase, int):
+        return Fraction(phase) % 2
+    value = float(phase) % 2.0
+    snapped = Fraction(value).limit_denominator(SNAP_MAX_DENOMINATOR)
+    if abs(float(snapped) - value) <= SNAP_TOLERANCE:
+        return snapped % 2
+    return value
+
+
+def add_phases(a: Phase, b: Phase) -> Phase:
+    """Sum of two phases, normalized."""
+    return normalize_phase(a + b)
+
+
+def negate_phase(a: Phase) -> Phase:
+    """Additive inverse of a phase, normalized."""
+    return normalize_phase(-a)
+
+
+def phase_to_radians(phase: Phase) -> float:
+    """Convert a phase in units of pi to radians."""
+    return float(phase) * _PI
+
+
+def radians_to_phase(angle: float) -> Phase:
+    """Convert an angle in radians to a normalized phase in units of pi."""
+    return normalize_phase(angle / _PI)
+
+
+def is_zero_phase(phase: Phase) -> bool:
+    """True for phase 0 (the identity spider phase)."""
+    return normalize_phase(phase) == 0
+
+
+def is_pauli_phase(phase: Phase) -> bool:
+    """True for phases 0 or pi (the *Pauli* spiders pivoting acts on)."""
+    p = normalize_phase(phase)
+    return p == 0 or p == 1
+
+
+def is_proper_clifford_phase(phase: Phase) -> bool:
+    """True for phases ±pi/2 (the spiders local complementation acts on)."""
+    p = normalize_phase(phase)
+    return p == Fraction(1, 2) or p == Fraction(3, 2)
+
+
+def is_clifford_phase(phase: Phase) -> bool:
+    """True for any multiple of pi/2."""
+    p = normalize_phase(phase)
+    return isinstance(p, Fraction) and (2 * p).denominator == 1

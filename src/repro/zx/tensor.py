@@ -1,0 +1,175 @@
+"""Exact tensor-network semantics of ZX-diagrams.
+
+Evaluating a diagram to its matrix is exponential in the number of open
+wires and in the cut-width of the contraction, so this module exists for
+*testing*: every rewrite rule in :mod:`repro.zx.rules` and the whole
+simplification pipeline are validated against these dense semantics on
+small diagrams (the reproduction's analogue of the paper's Fig. 5 axiom
+soundness).
+
+Conventions match :mod:`repro.circuit.unitary`: qubit 0 is the least
+significant index bit; the returned matrix maps the input space to the
+output space.  ZX-diagrams only determine matrices up to a global scalar,
+hence :func:`diagrams_proportional` is the right comparison.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.zx.diagram import EdgeType, VertexType, ZXDiagram
+from repro.zx.phase import phase_to_radians
+
+_HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2.0)
+
+
+def _spider_tensor(vertex_type: VertexType, phase, degree: int) -> np.ndarray:
+    """Dense tensor of a spider with ``degree`` legs."""
+    if degree == 0:
+        value = 1 + cmath.exp(1j * phase_to_radians(phase))
+        return np.array(value, dtype=complex)
+    tensor = np.zeros((2,) * degree, dtype=complex)
+    tensor[(0,) * degree] = 1.0
+    tensor[(1,) * degree] = cmath.exp(1j * phase_to_radians(phase))
+    if vertex_type is VertexType.X:
+        for leg in range(degree):
+            tensor = np.tensordot(tensor, _HADAMARD, axes=([leg], [0]))
+            tensor = np.moveaxis(tensor, -1, leg)
+    return tensor
+
+
+class _Network:
+    """A list of tensors with labelled legs, contracted greedily."""
+
+    def __init__(self) -> None:
+        self.tensors: List[Tuple[np.ndarray, List[object]]] = []
+
+    def add(self, tensor: np.ndarray, legs: List[object]) -> None:
+        self.tensors.append((tensor, legs))
+
+    def contract(self) -> Tuple[np.ndarray, List[object]]:
+        """Contract everything; returns the final tensor and its open legs."""
+        while True:
+            pair = self._find_pair()
+            if pair is None:
+                break
+            i, j = pair
+            tensor_j, legs_j = self.tensors.pop(j)
+            tensor_i, legs_i = self.tensors.pop(i)
+            shared = [leg for leg in legs_i if leg in legs_j]
+            axes_i = [legs_i.index(leg) for leg in shared]
+            axes_j = [legs_j.index(leg) for leg in shared]
+            result = np.tensordot(tensor_i, tensor_j, axes=(axes_i, axes_j))
+            remaining = [leg for leg in legs_i if leg not in shared] + [
+                leg for leg in legs_j if leg not in shared
+            ]
+            self.tensors.append((result, remaining))
+        # Multiply disconnected components (scalars and open-leg pieces).
+        tensor, legs = self.tensors[0]
+        for other, other_legs in self.tensors[1:]:
+            tensor = np.tensordot(tensor, other, axes=0)
+            legs = legs + other_legs
+        return tensor, legs
+
+    def _find_pair(self) -> Optional[Tuple[int, int]]:
+        best = None
+        best_rank = None
+        for i in range(len(self.tensors)):
+            legs_i = set(self.tensors[i][1])
+            for j in range(i + 1, len(self.tensors)):
+                legs_j = set(self.tensors[j][1])
+                shared = legs_i & legs_j
+                if not shared:
+                    continue
+                rank = len(legs_i) + len(legs_j) - 2 * len(shared)
+                if best_rank is None or rank < best_rank:
+                    best = (i, j)
+                    best_rank = rank
+        return best
+
+
+def diagram_to_tensor(diagram: ZXDiagram) -> Tuple[np.ndarray, List[object]]:
+    """Contract the diagram; open legs are labelled ``("in", k)``/``("out", k)``."""
+    network = _Network()
+    input_positions = {v: k for k, v in enumerate(diagram.inputs)}
+    output_positions = {v: k for k, v in enumerate(diagram.outputs)}
+
+    def edge_leg(u: int, v: int) -> Tuple[str, int, int]:
+        a, b = (u, v) if u < v else (v, u)
+        return ("edge", a, b)
+
+    for u, v, edge_type in diagram.edges():
+        if edge_type is EdgeType.HADAMARD:
+            leg_u = ("half", u, v)
+            leg_v = ("half", v, u)
+            network.add(_HADAMARD.copy(), [leg_u, leg_v])
+
+    def vertex_leg(vertex: int, neighbor: int) -> object:
+        if diagram.edge_type(vertex, neighbor) is EdgeType.HADAMARD:
+            return ("half", vertex, neighbor)
+        return edge_leg(vertex, neighbor)
+
+    for vertex in diagram.vertices():
+        vertex_type = diagram.vertex_type(vertex)
+        neighbors = diagram.neighbors(vertex)
+        if vertex_type is VertexType.BOUNDARY:
+            if len(neighbors) != 1:
+                raise ValueError("boundary vertex must have exactly one edge")
+            label = (
+                ("in", input_positions[vertex])
+                if vertex in input_positions
+                else ("out", output_positions[vertex])
+            )
+            network.add(
+                np.eye(2, dtype=complex), [label, vertex_leg(vertex, neighbors[0])]
+            )
+        else:
+            tensor = _spider_tensor(
+                vertex_type, diagram.phase(vertex), len(neighbors)
+            )
+            network.add(tensor, [vertex_leg(vertex, n) for n in neighbors])
+    if not network.tensors:
+        return np.array(1.0, dtype=complex), []
+    return network.contract()
+
+
+def diagram_to_matrix(diagram: ZXDiagram) -> np.ndarray:
+    """Dense matrix of the diagram (rows: outputs, columns: inputs)."""
+    tensor, legs = diagram_to_tensor(diagram)
+    num_in = len(diagram.inputs)
+    num_out = len(diagram.outputs)
+    if len(legs) != num_in + num_out:
+        raise ValueError("contraction left unexpected open legs")
+    # Order legs as (out_{m-1}, ..., out_0, in_{n-1}, ..., in_0) so that
+    # qubit 0 is the least significant bit of both indices.
+    order = []
+    for k in reversed(range(num_out)):
+        order.append(legs.index(("out", k)))
+    for k in reversed(range(num_in)):
+        order.append(legs.index(("in", k)))
+    tensor = np.transpose(tensor, order)
+    return tensor.reshape(2**num_out, 2**num_in)
+
+
+def diagrams_proportional(
+    a: np.ndarray, b: np.ndarray, tol: float = 1e-8
+) -> bool:
+    """True if two matrices are equal up to a non-zero global scalar."""
+    if a.shape != b.shape:
+        return False
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a < tol or norm_b < tol:
+        return norm_a < tol and norm_b < tol
+    a = a / norm_a
+    b = b / norm_b
+    # Align global phase on the largest entry of a.
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    phase = b[index] / a[index] if abs(a[index]) > tol else 1.0
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a * phase, b, atol=tol))

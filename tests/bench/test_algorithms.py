@@ -1,0 +1,182 @@
+"""Tests for the benchmark circuit generators (`repro.bench.algorithms`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import algorithms as alg
+from repro.circuit import circuit_unitary, statevector, unitaries_equivalent
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("linear", [True, False])
+    def test_statevector(self, linear):
+        state = statevector(alg.ghz_state(4, linear=linear))
+        assert abs(state[0]) ** 2 == pytest.approx(0.5)
+        assert abs(state[15]) ** 2 == pytest.approx(0.5)
+
+    def test_gate_count_is_linear(self):
+        assert len(alg.ghz_state(65)) == 65
+
+    def test_single_qubit(self):
+        state = statevector(alg.ghz_state(1))
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            alg.ghz_state(0)
+
+
+class TestGraphState:
+    def test_explicit_edges(self):
+        circuit = alg.graph_state(3, edges=[(0, 1), (1, 2)])
+        counts = circuit.count_ops()
+        assert counts["h"] == 3
+        assert counts["cz"] == 2
+
+    def test_random_edges_deterministic(self):
+        a = alg.graph_state(8, seed=3)
+        b = alg.graph_state(8, seed=3)
+        assert a.operations == b.operations
+
+    def test_stabilizer_condition(self):
+        """Graph state is stabilized by X_v Z_N(v) for every vertex."""
+        edges = [(0, 1), (1, 2), (0, 2)]
+        state = statevector(alg.graph_state(3, edges=edges))
+        from repro.circuit import QuantumCircuit
+        from repro.circuit.unitary import apply_operation
+        from repro.circuit.gate import Operation
+
+        for vertex in range(3):
+            stabilized = apply_operation(
+                state.copy(), Operation("x", (vertex,)), 3
+            )
+            for a, b in edges:
+                other = b if a == vertex else a if b == vertex else None
+                if other is not None:
+                    stabilized = apply_operation(
+                        stabilized, Operation("z", (other,)), 3
+                    )
+            np.testing.assert_allclose(stabilized, state, atol=1e-9)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+        ) / math.sqrt(dim)
+        np.testing.assert_allclose(
+            circuit_unitary(alg.qft(n)), dft, atol=1e-9
+        )
+
+    def test_without_swaps_is_bit_reversed(self):
+        n = 3
+        with_swaps = circuit_unitary(alg.qft(n))
+        without = circuit_unitary(alg.qft(n, with_swaps=False))
+        assert not np.allclose(with_swaps, without)
+
+    def test_inverse_qft(self):
+        composed = alg.qft(4).compose(alg.inverse_qft(4))
+        np.testing.assert_allclose(
+            circuit_unitary(composed), np.eye(16), atol=1e-9
+        )
+
+
+class TestQPE:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exact_phase_collapses(self, n):
+        circuit = alg.qpe_exact(n)
+        state = statevector(circuit)
+        probabilities = np.abs(state) ** 2
+        peak = int(np.argmax(probabilities))
+        assert probabilities[peak] == pytest.approx(1.0, abs=1e-9)
+        # default phase is 1/2 + 1/2^n -> counting value 2^(n-1) + 1
+        assert peak & ((1 << n) - 1) == (1 << (n - 1)) + 1
+
+    def test_custom_phase(self):
+        circuit = alg.qpe_exact(3, phase=0.25)
+        state = statevector(circuit)
+        peak = int(np.argmax(np.abs(state) ** 2))
+        assert peak & 7 == 2  # 0.25 * 8
+
+
+class TestGrover:
+    @pytest.mark.parametrize("marked", [0, 5, 15])
+    def test_marked_state_amplified(self, marked):
+        circuit = alg.grover(4, marked=marked)
+        probabilities = np.abs(statevector(circuit)) ** 2
+        assert int(np.argmax(probabilities)) == marked
+        assert probabilities[marked] > 0.9
+
+    def test_iteration_count_default(self):
+        circuit = alg.grover(4)
+        # floor(pi/4 * sqrt(16)) = 3 iterations
+        assert circuit.count_ops()["h"] >= 4 + 3 * 8
+
+    def test_invalid_marked_rejected(self):
+        with pytest.raises(ValueError):
+            alg.grover(3, marked=8)
+
+
+class TestRandomWalk:
+    def test_unitary(self):
+        unitary = circuit_unitary(alg.quantum_random_walk(3, steps=1))
+        np.testing.assert_allclose(
+            unitary @ unitary.conj().T, np.eye(16), atol=1e-9
+        )
+
+    def test_shift_structure(self):
+        """With the coin forced to |1>, one step increments the position."""
+        from repro.circuit import QuantumCircuit
+
+        walk = alg.quantum_random_walk(3, steps=1)
+        # remove the coin flip to make the classical action visible
+        ops = [op for op in walk if not (op.name == "h")]
+        circuit = QuantumCircuit(4, operations=ops)
+        for position in range(8):
+            basis = position | (1 << 3)  # coin = 1
+            state = np.zeros(16, dtype=complex)
+            state[basis] = 1.0
+            out = np.abs(statevector(circuit, state)) ** 2
+            target = ((position + 1) % 8) | (1 << 3)
+            assert out[target] == pytest.approx(1.0)
+
+    def test_gate_count_scales_with_steps(self):
+        assert len(alg.quantum_random_walk(3, steps=4)) == 2 * len(
+            alg.quantum_random_walk(3, steps=2)
+        )
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_equal_superposition_of_weight_one(self, n):
+        state = statevector(alg.w_state(n))
+        for k in range(2**n):
+            weight = bin(k).count("1")
+            expected = 1.0 / n if weight == 1 else 0.0
+            assert abs(state[k]) ** 2 == pytest.approx(expected, abs=1e-9)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0, 1, 6, 15])
+    def test_secret_recovered(self, secret):
+        circuit = alg.bernstein_vazirani(secret, 4)
+        probabilities = np.abs(statevector(circuit)) ** 2
+        peak = int(np.argmax(probabilities))
+        assert peak & 15 == secret
+
+
+class TestAdder:
+    def test_addition_truth_table(self):
+        from repro.bench.reversible import circuit_truth_table
+
+        table = circuit_truth_table(alg.cuccaro_adder(3))
+        for a in range(8):
+            for b in range(8):
+                result = table[a | (b << 3)]
+                assert result & 7 == a  # a register preserved
+                assert (result >> 3) & 7 == (a + b) % 8

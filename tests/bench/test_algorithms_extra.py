@@ -1,0 +1,106 @@
+"""Tests for the additional benchmark families (DJ, Simon, VQE, Clifford+T)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.algorithms import (
+    deutsch_jozsa,
+    random_clifford_t,
+    simon,
+    vqe_ansatz,
+)
+from repro.circuit import circuit_unitary, statevector
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_returns_zero(self):
+        circuit = deutsch_jozsa(4, balanced=False)
+        probabilities = np.abs(statevector(circuit)) ** 2
+        peak = int(np.argmax(probabilities))
+        assert peak & 15 == 0
+        assert probabilities[peak] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_balanced_oracle_never_returns_zero(self, seed):
+        circuit = deutsch_jozsa(4, balanced=True, seed=seed)
+        state = statevector(circuit)
+        # amplitude of the data register reading all-zero must vanish
+        zero_probability = sum(
+            abs(state[k]) ** 2 for k in range(32) if k & 15 == 0
+        )
+        assert zero_probability == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_with_seed(self):
+        assert (
+            deutsch_jozsa(5, seed=3).operations
+            == deutsch_jozsa(5, seed=3).operations
+        )
+
+
+class TestSimon:
+    @pytest.mark.parametrize("secret", [1, 2, 3, 5])
+    def test_measurements_orthogonal_to_secret(self, secret):
+        """Every data-register outcome y satisfies y . s = 0 (mod 2)."""
+        n = 3
+        circuit = simon(secret, n)
+        state = statevector(circuit)
+        for basis in range(1 << (2 * n)):
+            if abs(state[basis]) < 1e-12:
+                continue
+            y = basis & ((1 << n) - 1)
+            parity = bin(y & secret).count("1") % 2
+            assert parity == 0, (secret, y)
+
+    def test_invalid_secret_rejected(self):
+        with pytest.raises(ValueError):
+            simon(0, 3)
+        with pytest.raises(ValueError):
+            simon(8, 3)
+
+    def test_width(self):
+        assert simon(3, 4).num_qubits == 8
+
+
+class TestVQEAnsatz:
+    def test_unitary(self):
+        circuit = vqe_ansatz(3, layers=2, seed=1)
+        unitary = circuit_unitary(circuit)
+        np.testing.assert_allclose(
+            unitary @ unitary.conj().T, np.eye(8), atol=1e-9
+        )
+
+    def test_structure(self):
+        circuit = vqe_ansatz(4, layers=3, seed=0)
+        counts = circuit.count_ops()
+        assert counts["cx"] == 3 * 3  # (n-1) per layer
+        assert counts["ry"] == 4 * 4  # per layer + final
+
+    def test_mostly_non_clifford(self):
+        """The 'arbitrary angle' workload of Section 6.2."""
+        circuit = vqe_ansatz(4, layers=2, seed=5)
+        assert circuit.non_clifford_count() > len(circuit) / 2
+
+    def test_deterministic(self):
+        assert (
+            vqe_ansatz(3, seed=9).operations == vqe_ansatz(3, seed=9).operations
+        )
+
+
+class TestRandomCliffordT:
+    def test_zero_fraction_is_clifford(self):
+        from repro.stab import CliffordTableau
+
+        circuit = random_clifford_t(4, 40, t_fraction=0.0, seed=1)
+        CliffordTableau.from_circuit(circuit)  # must not raise
+
+    def test_t_fraction_controls_t_count(self):
+        low = random_clifford_t(4, 200, t_fraction=0.05, seed=2)
+        high = random_clifford_t(4, 200, t_fraction=0.6, seed=2)
+        assert low.t_count() < high.t_count()
+
+    def test_is_unitary(self):
+        circuit = random_clifford_t(3, 30, seed=3)
+        unitary = circuit_unitary(circuit)
+        np.testing.assert_allclose(
+            unitary @ unitary.conj().T, np.eye(8), atol=1e-9
+        )

@@ -1,0 +1,81 @@
+"""Tests for benchmark artifact export/import (`repro.bench.artifacts`)."""
+
+import json
+
+import pytest
+
+from repro.bench.artifacts import (
+    MANIFEST_NAME,
+    export_benchmarks,
+    load_benchmark_pair,
+    load_manifest,
+)
+from repro.ec import Configuration, EquivalenceCheckingManager
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("benchmarks")
+    manifest = export_benchmarks(
+        directory, scale="small", seed=0, use_cases=("optimized",)
+    )
+    return directory, manifest
+
+
+class TestExport:
+    def test_manifest_structure(self, exported):
+        directory, manifest = exported
+        assert "optimized" in manifest
+        assert len(manifest["optimized"]) == 6
+        assert (directory / MANIFEST_NAME).exists()
+        assert load_manifest(directory) == manifest
+
+    def test_files_on_disk(self, exported):
+        directory, manifest = exported
+        name = manifest["optimized"][0]
+        folder = directory / "optimized" / name
+        assert (folder / "original.qasm").exists()
+        for config in ("equivalent", "gate_missing", "flipped_cnot"):
+            assert (folder / f"{config}.qasm").exists()
+
+    def test_qasm_is_parseable_by_header(self, exported):
+        directory, manifest = exported
+        name = manifest["optimized"][0]
+        text = (directory / "optimized" / name / "original.qasm").read_text()
+        assert text.startswith("OPENQASM 2.0;")
+
+
+class TestRoundtrip:
+    def test_equivalent_pair_verifies(self, exported):
+        directory, manifest = exported
+        name = next(n for n in manifest["optimized"] if "qft" in n)
+        original, variant = load_benchmark_pair(
+            directory, "optimized", name, "equivalent"
+        )
+        result = EquivalenceCheckingManager(
+            original, variant, Configuration(strategy="combined", seed=0)
+        ).run()
+        assert result.considered_equivalent
+
+    def test_broken_pair_fails(self, exported):
+        directory, manifest = exported
+        name = next(n for n in manifest["optimized"] if "qft" in n)
+        original, variant = load_benchmark_pair(
+            directory, "optimized", name, "gate_missing"
+        )
+        result = EquivalenceCheckingManager(
+            original, variant, Configuration(strategy="combined", seed=0)
+        ).run()
+        assert not result.considered_equivalent
+
+    def test_unknown_configuration_rejected(self, exported):
+        directory, manifest = exported
+        with pytest.raises(ValueError):
+            load_benchmark_pair(
+                directory, "optimized", manifest["optimized"][0], "scrambled"
+            )
+
+    def test_missing_benchmark_rejected(self, exported):
+        directory, _ = exported
+        with pytest.raises(FileNotFoundError):
+            load_benchmark_pair(directory, "optimized", "nonexistent")

@@ -1,0 +1,62 @@
+"""Tests for error injection (`repro.bench.errors`)."""
+
+import pytest
+
+from repro.bench.errors import flip_random_cnot, remove_random_gate
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from tests.conftest import random_circuit
+
+
+class TestRemoveRandomGate:
+    def test_one_gate_removed(self):
+        circuit = random_circuit(3, 20, seed=1)
+        broken = remove_random_gate(circuit, seed=2)
+        assert len(broken) == len(circuit) - 1
+
+    def test_deterministic_with_seed(self):
+        circuit = random_circuit(3, 20, seed=1)
+        assert (
+            remove_random_gate(circuit, seed=5).operations
+            == remove_random_gate(circuit, seed=5).operations
+        )
+
+    def test_metadata_preserved(self):
+        circuit = random_circuit(3, 10, seed=1)
+        circuit.initial_layout = {0: 1, 1: 0}
+        broken = remove_random_gate(circuit, seed=0)
+        assert broken.initial_layout == circuit.initial_layout
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            remove_random_gate(QuantumCircuit(2))
+
+
+class TestFlipRandomCnot:
+    def test_gate_count_unchanged(self):
+        circuit = random_circuit(3, 20, seed=3).cx(0, 1)
+        flipped = flip_random_cnot(circuit, seed=1)
+        assert len(flipped) == len(circuit)
+
+    def test_control_target_exchanged(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        flipped = flip_random_cnot(circuit, seed=0)
+        assert flipped[0].controls == (1,)
+        assert flipped[0].targets == (0,)
+
+    def test_flip_changes_functionality(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        flipped = flip_random_cnot(circuit, seed=0)
+        assert not unitaries_equivalent(
+            circuit_unitary(circuit), circuit_unitary(flipped)
+        )
+
+    def test_no_cnot_rejected(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        with pytest.raises(ValueError):
+            flip_random_cnot(circuit)
+
+    def test_only_single_controlled_x_eligible(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2).cx(0, 1)
+        flipped = flip_random_cnot(circuit, seed=0)
+        # the Toffoli must never be flipped
+        assert flipped[0] == circuit[0]

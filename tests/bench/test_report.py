@@ -1,0 +1,53 @@
+"""Tests for Markdown report generation (`repro.bench.report`)."""
+
+import pytest
+
+from repro.bench.report import rows_to_markdown, write_report
+from repro.bench.study import CellResult, TableRow
+from repro.ec.results import Equivalence
+
+
+def _row(name="ghz_3", timed_out=False, correct=True):
+    cells = {}
+    for config in ("equivalent", "gate_missing", "flipped_cnot"):
+        for method in ("dd", "zx"):
+            cells[f"{config}/{method}"] = CellResult(
+                0.42,
+                Equivalence.TIMEOUT if timed_out else Equivalence.EQUIVALENT,
+                timed_out,
+                None if timed_out else correct,
+            )
+    return TableRow(name, "compiled", 5, 10, 20, cells)
+
+
+class TestRowsToMarkdown:
+    def test_table_structure(self):
+        markdown = rows_to_markdown([_row()], timeout=30)
+        lines = markdown.splitlines()
+        assert lines[0] == "## Table 1"
+        assert lines[2].startswith("| Benchmark |")
+        assert "| ghz_3 | 5 | 10 | 20 |" in markdown
+
+    def test_summary_counts(self):
+        markdown = rows_to_markdown(
+            [_row(), _row(name="qft", timed_out=True)], timeout=30
+        )
+        assert "12 checks total" in markdown
+        assert "timeout (6)" in markdown
+
+    def test_wrong_verdicts_counted(self):
+        markdown = rows_to_markdown([_row(correct=False)], timeout=30)
+        assert "wrong verdict (6)" in markdown
+        assert "0.42!" in markdown
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md",
+            {"compiled": [_row()], "optimized": [_row(name="urf")]},
+            timeout=30,
+            preamble="# My run",
+        )
+        text = path.read_text()
+        assert text.startswith("# My run")
+        assert "## Compiled Circuits" in text
+        assert "## Optimized Circuits" in text

@@ -1,0 +1,121 @@
+"""Tests for the reversible-circuit substrate (`repro.bench.reversible`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.reversible import (
+    ReversibleFunction,
+    circuit_truth_table,
+    hidden_weighted_bit,
+    plus_constant_adder_circuit,
+    plus_constant_mod,
+    random_reversible_function,
+    synthesize,
+)
+
+
+class TestReversibleFunction:
+    def test_valid_table(self):
+        fn = ReversibleFunction(2, [3, 0, 2, 1])
+        assert fn(0) == 3
+        assert fn(3) == 1
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(ValueError):
+            ReversibleFunction(2, [0, 0, 1, 2])
+        with pytest.raises(ValueError):
+            ReversibleFunction(2, [0, 1, 2])
+
+    def test_inverse(self):
+        fn = ReversibleFunction(2, [3, 0, 2, 1])
+        inverse = fn.inverse()
+        for x in range(4):
+            assert inverse(fn(x)) == x
+
+    def test_from_callable(self):
+        fn = ReversibleFunction.from_callable(3, lambda x: x ^ 5)
+        assert fn(0) == 5
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_functions(self, seed):
+        fn = random_reversible_function(4, seed=seed)
+        circuit = synthesize(fn)
+        assert circuit_truth_table(circuit) == fn.table
+
+    def test_identity_function_yields_empty_circuit(self):
+        fn = ReversibleFunction(3, list(range(8)))
+        assert len(synthesize(fn)) == 0
+
+    def test_not_gate(self):
+        fn = ReversibleFunction(1, [1, 0])
+        circuit = synthesize(fn)
+        assert circuit_truth_table(circuit) == [1, 0]
+
+    def test_only_mct_gates_emitted(self):
+        circuit = synthesize(random_reversible_function(4, seed=9))
+        for op in circuit:
+            assert op.name == "x"
+            assert len(op.targets) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_synthesis_correct_property(self, seed):
+        fn = random_reversible_function(3, seed=seed)
+        assert circuit_truth_table(synthesize(fn)) == fn.table
+
+    def test_larger_function(self):
+        fn = random_reversible_function(6, seed=1)
+        assert circuit_truth_table(synthesize(fn)) == fn.table
+
+
+class TestFunctionFamilies:
+    def test_plus_constant(self):
+        fn = plus_constant_mod(4, 5)
+        assert fn(0) == 5
+        assert fn(15) == 4  # wraps mod 16
+
+    def test_plus_constant_wraps_constant(self):
+        assert plus_constant_mod(3, 9).table == plus_constant_mod(3, 1).table
+
+    def test_hidden_weighted_bit(self):
+        fn = hidden_weighted_bit(4)
+        assert fn(0) == 0  # weight 0: no rotation
+        # weight(0b0001)=1: rotate right by 1 -> 0b1000
+        assert fn(1) == 8
+
+    def test_hwb_is_bijection(self):
+        fn = hidden_weighted_bit(6)
+        assert sorted(fn.table) == list(range(64))
+
+    @pytest.mark.parametrize("bits,constant", [(4, 3), (5, 13), (6, 21)])
+    def test_ripple_adder_matches_truth_table(self, bits, constant):
+        ripple = plus_constant_adder_circuit(bits, constant)
+        assert (
+            circuit_truth_table(ripple)
+            == plus_constant_mod(bits, constant).table
+        )
+
+    def test_urf_deterministic(self):
+        assert (
+            random_reversible_function(5, seed=3).table
+            == random_reversible_function(5, seed=3).table
+        )
+
+
+class TestTruthTableEvaluation:
+    def test_rejects_non_mct(self):
+        from repro.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(1).h(0)
+        with pytest.raises(ValueError):
+            circuit_truth_table(circuit)
+
+    def test_controls_respected(self):
+        from repro.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(3).mcx([0, 1], 2)
+        table = circuit_truth_table(circuit)
+        assert table[3] == 7
+        assert table[1] == 1

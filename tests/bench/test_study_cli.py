@@ -1,0 +1,70 @@
+"""End-to-end tests of the study harness CLI (`repro.bench.study.main`)."""
+
+import pytest
+
+import repro.bench.study as study
+from repro.bench.algorithms import ghz_state
+from repro.bench.errors import flip_random_cnot, remove_random_gate
+from repro.bench.suite import BenchmarkInstance
+from repro.compile import compile_circuit, line_architecture
+
+
+@pytest.fixture
+def tiny_suite(monkeypatch):
+    """Swap the real benchmark builders for a single tiny instance."""
+    original = ghz_state(3)
+    compiled = compile_circuit(original, line_architecture(4))
+    instance = BenchmarkInstance(
+        "ghz_3",
+        "compiled",
+        original,
+        {
+            "equivalent": compiled,
+            "gate_missing": remove_random_gate(compiled, seed=1),
+            "flipped_cnot": flip_random_cnot(compiled, seed=1),
+        },
+    )
+    monkeypatch.setattr(
+        study, "compiled_benchmarks", lambda scale, seed: [instance]
+    )
+    monkeypatch.setattr(
+        study, "optimized_benchmarks", lambda scale, seed: [instance]
+    )
+    return instance
+
+
+class TestStudyMain:
+    def test_single_use_case(self, tiny_suite, capsys):
+        assert study.main(["--use-case", "compiled", "--timeout", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Compiled Circuits" in out
+        assert "ghz_3" in out
+        assert "t_dd" in out and "t_zx" in out
+
+    def test_both_use_cases(self, tiny_suite, capsys):
+        assert study.main(["--use-case", "both", "--timeout", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimized Circuits" in out
+
+    def test_report_written(self, tiny_suite, tmp_path, capsys):
+        report = tmp_path / "run.md"
+        assert (
+            study.main(
+                [
+                    "--use-case", "compiled", "--timeout", "20",
+                    "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        text = report.read_text()
+        assert text.startswith("# Case-study run")
+        assert "| ghz_3 |" in text
+
+    def test_unknown_use_case_rejected(self):
+        with pytest.raises(SystemExit):
+            study.main(["--use-case", "imaginary"])
+
+    def test_run_table_rejects_unknown_use_case(self):
+        with pytest.raises(ValueError):
+            study.run_table(use_case="imaginary")

@@ -1,0 +1,183 @@
+"""Unit tests for `repro.circuit.circuit.QuantumCircuit`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.circuit import compiled_ghz_example, ghz_example
+from repro.circuit.gate import Operation
+from tests.conftest import random_circuit
+
+
+class TestBuilding:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert len(circuit) == 0
+        assert circuit.num_qubits == 3
+        assert circuit.depth() == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(-1)
+
+    def test_out_of_range_operation_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.h(2)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(3)
+        result = circuit.h(0).cx(0, 1).ccx(0, 1, 2)
+        assert result is circuit
+        assert len(circuit) == 3
+
+    def test_builder_methods_cover_gate_set(self):
+        circuit = QuantumCircuit(4)
+        circuit.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0)
+        circuit.sx(0).sxdg(0)
+        circuit.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0)
+        circuit.u2(0.1, 0.2, 0).u3(0.1, 0.2, 0.3, 0)
+        circuit.cx(0, 1).cy(0, 1).cz(0, 1).ch(0, 1).cs(0, 1)
+        circuit.crx(0.1, 0, 1).cry(0.2, 0, 1).crz(0.3, 0, 1).cp(0.4, 0, 1)
+        circuit.swap(0, 1).iswap(0, 1).rzz(0.5, 0, 1).rxx(0.6, 0, 1)
+        circuit.ccx(0, 1, 2).ccz(0, 1, 2).cswap(0, 1, 2)
+        circuit.mcx([0, 1, 2], 3).mcz([0, 1, 2], 3).mcp(0.7, [0, 1, 2], 3)
+        assert len(circuit) == 36
+
+    def test_iteration_and_indexing(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        ops = list(circuit)
+        assert circuit[0] == ops[0]
+        assert circuit[-1].name == "x"
+
+
+class TestStructure:
+    def test_inverse_reverses_and_inverts(self):
+        circuit = random_circuit(3, 25, seed=7)
+        inverse = circuit.inverse()
+        assert len(inverse) == len(circuit)
+        identity = circuit_unitary(circuit.compose(inverse))
+        np.testing.assert_allclose(identity, np.eye(8), atol=1e-9)
+
+    def test_inverse_swaps_layout_metadata(self):
+        compiled = compiled_ghz_example()
+        inverse = compiled.inverse()
+        assert inverse.initial_layout == compiled.output_permutation
+        assert inverse.output_permutation == compiled.initial_layout
+
+    def test_compose_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_compose_runs_self_first(self):
+        a = QuantumCircuit(1).x(0)
+        b = QuantumCircuit(1).h(0)
+        composed = a.compose(b)
+        expected = (
+            circuit_unitary(b) @ circuit_unitary(a)
+        )
+        np.testing.assert_allclose(
+            circuit_unitary(composed), expected, atol=1e-12
+        )
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+    def test_remapped(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        remapped = circuit.remapped({0: 2, 1: 0}, num_qubits=3)
+        assert remapped[0].controls == (2,)
+        assert remapped[0].targets == (0,)
+
+
+class TestStatistics:
+    def test_count_ops_uses_controlled_names(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2).cx(1, 2)
+        counts = circuit.count_ops()
+        assert counts["h"] == 1
+        assert counts["cx"] == 2
+        assert counts["ccx"] == 1
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2)  # depth 1: all parallel
+        assert circuit.depth() == 1
+        circuit.cx(0, 1)
+        assert circuit.depth() == 2
+        circuit.x(2)
+        assert circuit.depth() == 2
+
+    def test_two_qubit_gate_count(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        assert circuit.two_qubit_gate_count() == 2
+
+    def test_t_count_and_non_clifford(self):
+        circuit = QuantumCircuit(2).t(0).tdg(1).h(0).rz(math.pi / 4, 0)
+        assert circuit.t_count() == 2
+        assert circuit.non_clifford_count() == 3
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5).cx(1, 3)
+        assert circuit.used_qubits() == (1, 3)
+
+
+class TestLayoutResolution:
+    def test_identity_defaults(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.resolved_initial_layout() == {0: 0, 1: 1, 2: 2}
+        assert circuit.resolved_output_permutation() == {0: 0, 1: 1, 2: 2}
+
+    def test_partial_layout_completed_to_bijection(self):
+        circuit = QuantumCircuit(4)
+        circuit.initial_layout = {0: 2}  # wire 0 holds logical 2
+        resolved = circuit.resolved_initial_layout()
+        assert resolved[0] == 2
+        assert sorted(resolved.values()) == [0, 1, 2, 3]
+        # wire 2's identity slot is taken; wires 1 and 3 keep theirs
+        assert resolved[1] == 1
+        assert resolved[3] == 3
+
+    def test_non_injective_layout_rejected(self):
+        circuit = QuantumCircuit(3)
+        circuit.initial_layout = {0: 1, 2: 1}
+        with pytest.raises(ValueError):
+            circuit.resolved_initial_layout()
+
+    def test_out_of_range_layout_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.output_permutation = {0: 5}
+        with pytest.raises(ValueError):
+            circuit.resolved_output_permutation()
+
+
+class TestExamples:
+    def test_fig1_ghz_statevector(self):
+        from repro.circuit.unitary import statevector
+
+        state = statevector(ghz_example())
+        np.testing.assert_allclose(abs(state[0]) ** 2, 0.5, atol=1e-12)
+        np.testing.assert_allclose(abs(state[7]) ** 2, 0.5, atol=1e-12)
+
+    def test_fig2_compiled_ghz_metadata(self):
+        compiled = compiled_ghz_example()
+        # paper: q0 measured on Q0, q1 on Q2, q2 on Q1
+        assert compiled.output_permutation[2] == 1
+        assert compiled.output_permutation[1] == 2
+
+    def test_fig2_compiled_ghz_is_equivalent(self):
+        from repro.circuit.unitary import permutation_matrix
+
+        original = ghz_example()
+        compiled = compiled_ghz_example()
+        full = np.kron(np.eye(4), circuit_unitary(original))
+        out = compiled.resolved_output_permutation()
+        p_out = permutation_matrix({l: p for p, l in out.items()}, 5)
+        assert unitaries_equivalent(
+            p_out.conj().T @ circuit_unitary(compiled), full
+        )

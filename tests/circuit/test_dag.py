@@ -1,0 +1,170 @@
+"""Tests for the circuit DAG and commutation rules (`repro.circuit.dag`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.dag import CircuitDAG, operations_commute
+from repro.circuit.gate import Operation
+from tests.conftest import random_circuit
+
+
+class TestCircuitDAG:
+    def test_empty(self):
+        dag = CircuitDAG(QuantumCircuit(2))
+        assert dag.num_nodes == 0
+        assert dag.front_layer() == []
+        assert dag.longest_path_length() == 0
+
+    def test_chain_dependencies(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(0) == set()
+        assert dag.predecessors(1) == {0}
+        assert dag.successors(1) == {2}
+
+    def test_parallel_gates_independent(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        dag = CircuitDAG(circuit)
+        assert set(dag.front_layer()) == {0, 1}
+
+    def test_two_qubit_gate_joins_wires(self):
+        circuit = QuantumCircuit(2).h(0).x(1).cx(0, 1)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(2) == {0, 1}
+
+    def test_longest_path_matches_depth(self):
+        for seed in range(4):
+            circuit = random_circuit(4, 20, seed=seed)
+            assert CircuitDAG(circuit).longest_path_length() == circuit.depth()
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = random_circuit(4, 25, seed=5)
+        dag = CircuitDAG(circuit)
+        position = {op: i for i, op in enumerate(dag.topological_order())}
+        for index in range(dag.num_nodes):
+            for predecessor in dag.predecessors(index):
+                assert position[predecessor] < position[index]
+
+    def test_to_circuit_is_equivalent(self):
+        circuit = random_circuit(4, 25, seed=6)
+        rebuilt = CircuitDAG(circuit).to_circuit()
+        assert unitaries_equivalent(
+            circuit_unitary(rebuilt), circuit_unitary(circuit)
+        )
+
+
+class TestCommutationRules:
+    def op(self, name, targets, controls=(), params=()):
+        return Operation(name, tuple(targets), tuple(controls), tuple(params))
+
+    def test_disjoint_supports(self):
+        assert operations_commute(self.op("h", [0]), self.op("x", [1]))
+
+    def test_diagonal_pairs(self):
+        assert operations_commute(self.op("t", [0]), self.op("rz", [0], params=[0.3]))
+        assert operations_commute(
+            self.op("z", [1], [0]), self.op("p", [0], params=[0.5])
+        )
+
+    def test_cx_shared_control(self):
+        assert operations_commute(
+            self.op("x", [1], [0]), self.op("x", [2], [0])
+        )
+
+    def test_cx_shared_target(self):
+        assert operations_commute(
+            self.op("x", [2], [0]), self.op("x", [2], [1])
+        )
+
+    def test_cx_chain_does_not_commute(self):
+        assert not operations_commute(
+            self.op("x", [1], [0]), self.op("x", [2], [1])
+        )
+
+    def test_diagonal_on_cx_control(self):
+        assert operations_commute(self.op("x", [1], [0]), self.op("t", [0]))
+
+    def test_diagonal_on_cx_target_does_not(self):
+        assert not operations_commute(
+            self.op("x", [1], [0]), self.op("t", [1])
+        )
+
+    def test_x_axis_on_cx_target(self):
+        assert operations_commute(
+            self.op("x", [1], [0]), self.op("rx", [1], params=[0.7])
+        )
+
+    def test_x_axis_on_cx_control_does_not(self):
+        assert not operations_commute(
+            self.op("x", [1], [0]), self.op("x", [0])
+        )
+
+    def test_h_never_assumed_to_commute_on_shared_wire(self):
+        assert not operations_commute(self.op("h", [0]), self.op("t", [0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_commutation_claim_is_sound(self, seed):
+        """Whenever the syntactic rule claims commutation, the dense
+        matrices really commute."""
+        import itertools
+        import random as random_module
+
+        import numpy as np
+
+        from repro.circuit.unitary import operation_unitary
+
+        rng = random_module.Random(seed)
+        pool = [
+            self.op("h", [rng.randrange(3)]),
+            self.op("t", [rng.randrange(3)]),
+            self.op("rz", [rng.randrange(3)], params=[rng.uniform(0, 6)]),
+            self.op("rx", [rng.randrange(3)], params=[rng.uniform(0, 6)]),
+            self.op("x", [0], [1]),
+            self.op("x", [2], [0]),
+            self.op("z", [1], [2]),
+        ]
+        for a, b in itertools.combinations(pool, 2):
+            if operations_commute(a, b):
+                ua = operation_unitary(a, 3)
+                ub = operation_unitary(b, 3)
+                assert np.allclose(ua @ ub, ub @ ua, atol=1e-9), (a, b)
+
+
+class TestCommutationOptimizer:
+    def test_cx_pair_cancels_through_commuting_gates(self):
+        from repro.compile.optimize import optimize_circuit
+
+        circuit = QuantumCircuit(2).cx(0, 1).z(0).x(1).cx(0, 1)
+        optimized = optimize_circuit(circuit, level=3)
+        assert len(optimized) < 4
+        assert unitaries_equivalent(
+            circuit_unitary(optimized), circuit_unitary(circuit)
+        )
+
+    def test_level_one_does_not_reorder(self):
+        from repro.compile.optimize import optimize_circuit
+
+        circuit = QuantumCircuit(2).cx(0, 1).z(0).x(1).cx(0, 1)
+        assert len(optimize_circuit(circuit, level=1)) == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_level_three_preserves_semantics(self, seed):
+        from repro.compile.optimize import optimize_circuit
+
+        circuit = random_circuit(4, 30, seed=seed)
+        optimized = optimize_circuit(circuit, level=3)
+        assert unitaries_equivalent(
+            circuit_unitary(optimized), circuit_unitary(circuit)
+        )
+
+    def test_rotation_merge_through_cx(self):
+        from repro.compile.optimize import commutation_cancel_pass
+
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.3, 0).cx(0, 1).rz(0.4, 0)
+        merged = commutation_cancel_pass(circuit)
+        rz_ops = [op for op in merged if op.name == "rz"]
+        assert len(rz_ops) == 1
+        assert rz_ops[0].params[0] == pytest.approx(0.7)

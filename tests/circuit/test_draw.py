@@ -1,0 +1,57 @@
+"""Tests for the ASCII circuit drawer (`repro.circuit.draw`)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.circuit import ghz_example
+from repro.circuit.draw import draw_circuit
+
+
+class TestDrawCircuit:
+    def test_ghz_shape(self):
+        art = draw_circuit(ghz_example())
+        lines = art.splitlines()
+        assert lines[0].startswith("q0: ")
+        assert "H" in lines[0]
+        assert lines[0].count("●") == 2
+        assert art.count("⊕") == 2
+
+    def test_empty_circuit(self):
+        art = draw_circuit(QuantumCircuit(2))
+        assert art.splitlines()[0].startswith("q0: ")
+
+    def test_parameterized_gate_label(self):
+        circuit = QuantumCircuit(1).rz(1.5, 0)
+        assert "RZ(1.5)" in draw_circuit(circuit)
+
+    def test_swap_symbols(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        art = draw_circuit(circuit)
+        assert art.count("x") == 2
+
+    def test_control_connector_passes_untouched_wire(self):
+        circuit = QuantumCircuit(3).cx(0, 2)
+        art = draw_circuit(circuit)
+        q1_line = [l for l in art.splitlines() if l.startswith("q1")][0]
+        assert "│" in q1_line
+
+    def test_parallel_gates_share_column(self):
+        parallel = QuantumCircuit(2).h(0).h(1)
+        sequential = QuantumCircuit(2).h(0).h(0)
+        assert len(draw_circuit(parallel).splitlines()[0]) <= len(
+            draw_circuit(sequential).splitlines()[0]
+        )
+
+    def test_wide_circuit_wraps(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(100):
+            circuit.h(0)
+        art = draw_circuit(circuit, max_width=40)
+        assert "..." in art
+
+    def test_all_gate_kinds_render(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).t(1).cx(0, 1).cz(1, 2).ccx(0, 1, 2)
+        circuit.swap(0, 2).rz(0.5, 1).cp(0.25, 0, 2)
+        art = draw_circuit(circuit)
+        assert "T" in art and "Z" in art and "P(0.25)" in art

@@ -1,0 +1,164 @@
+"""Unit tests for the gate model (`repro.circuit.gate`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.gate import (
+    GATE_ALIASES,
+    Operation,
+    STANDARD_GATES,
+    base_matrix,
+    gate_definition,
+)
+
+
+class TestGateMatrices:
+    def test_all_standard_gates_are_unitary(self):
+        for name, defn in STANDARD_GATES.items():
+            params = tuple(0.7 + 0.1 * k for k in range(defn.num_params))
+            matrix = defn.matrix(params)
+            dim = 2**defn.num_targets
+            assert matrix.shape == (dim, dim)
+            np.testing.assert_allclose(
+                matrix @ matrix.conj().T, np.eye(dim), atol=1e-12
+            )
+
+    def test_hadamard_squares_to_identity(self):
+        h = base_matrix("h")
+        np.testing.assert_allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_s_is_sqrt_z(self):
+        np.testing.assert_allclose(
+            base_matrix("s") @ base_matrix("s"), base_matrix("z"), atol=1e-12
+        )
+
+    def test_t_is_sqrt_s(self):
+        np.testing.assert_allclose(
+            base_matrix("t") @ base_matrix("t"), base_matrix("s"), atol=1e-12
+        )
+
+    def test_sx_is_sqrt_x(self):
+        np.testing.assert_allclose(
+            base_matrix("sx") @ base_matrix("sx"), base_matrix("x"), atol=1e-12
+        )
+
+    def test_rz_at_pi_is_z_up_to_phase(self):
+        rz = base_matrix("rz", (math.pi,))
+        z = base_matrix("z")
+        ratio = rz[0, 0] / z[0, 0]
+        np.testing.assert_allclose(ratio * z, rz, atol=1e-12)
+
+    def test_u3_special_cases(self):
+        np.testing.assert_allclose(
+            base_matrix("u3", (0.0, 0.0, 0.7)), base_matrix("p", (0.7,)),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            base_matrix("u3", (1.1, 0.0, 0.0)), base_matrix("ry", (1.1,)),
+            atol=1e-12,
+        )
+
+    def test_u2_equals_u3_with_half_pi_theta(self):
+        np.testing.assert_allclose(
+            base_matrix("u2", (0.4, 1.2)),
+            base_matrix("u3", (math.pi / 2, 0.4, 1.2)),
+            atol=1e-12,
+        )
+
+    def test_param_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            base_matrix("rz", ())
+        with pytest.raises(ValueError):
+            base_matrix("h", (0.3,))
+
+    def test_aliases_resolve(self):
+        for alias, target in GATE_ALIASES.items():
+            if alias == "cnot":
+                continue  # handled by the QASM layer with a control
+            assert gate_definition(alias).name == target
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_definition("frobnicate")
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", sorted(STANDARD_GATES))
+    def test_inverse_matrix_is_adjoint(self, name):
+        defn = STANDARD_GATES[name]
+        if name == "iswap":
+            pytest.skip("iswap has no registered inverse rule")
+        params = tuple(0.3 + 0.2 * k for k in range(defn.num_params))
+        inv_name, inv_params = defn.inverse_of(params)
+        inverse = STANDARD_GATES[inv_name].matrix(inv_params)
+        np.testing.assert_allclose(
+            inverse, defn.matrix(params).conj().T, atol=1e-12
+        )
+
+    @given(st.floats(-10, 10))
+    def test_rotation_inverse_negates_angle(self, theta):
+        op = Operation("rz", (0,), params=(theta,))
+        assert op.inverse().params == (-theta,)
+
+    def test_operation_inverse_roundtrip(self):
+        op = Operation("u3", (1,), (0,), (0.3, 0.8, 1.7))
+        double = op.inverse().inverse()
+        np.testing.assert_allclose(double.matrix(), op.matrix(), atol=1e-12)
+
+
+class TestOperation:
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", (1,), (1,))
+        with pytest.raises(ValueError):
+            Operation("swap", (2, 2))
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", (-1,))
+
+    def test_target_count_enforced(self):
+        with pytest.raises(ValueError):
+            Operation("swap", (0,))
+        with pytest.raises(ValueError):
+            Operation("h", (0, 1))
+
+    def test_qubits_property(self):
+        op = Operation("x", (3,), (1, 2))
+        assert op.qubits == (3, 1, 2)
+        assert op.num_qubits == 3
+        assert op.is_controlled
+
+    def test_remapped(self):
+        op = Operation("x", (0,), (1,))
+        remapped = op.remapped({0: 5, 1: 7})
+        assert remapped.targets == (5,)
+        assert remapped.controls == (7,)
+
+    def test_alias_normalized_in_operation(self):
+        op = Operation("u1", (0,), params=(0.5,))
+        assert op.name == "p"
+
+
+class TestCliffordPredicate:
+    @pytest.mark.parametrize(
+        "name", ["h", "s", "sdg", "x", "y", "z", "sx", "swap"]
+    )
+    def test_parameter_free_cliffords(self, name):
+        targets = (0, 1) if name == "swap" else (0,)
+        assert Operation(name, targets).is_clifford()
+
+    def test_t_is_not_clifford(self):
+        assert not Operation("t", (0,)).is_clifford()
+
+    def test_rz_at_clifford_angles(self):
+        assert Operation("rz", (0,), params=(math.pi / 2,)).is_clifford()
+        assert Operation("rz", (0,), params=(math.pi,)).is_clifford()
+        assert not Operation("rz", (0,), params=(math.pi / 4,)).is_clifford()
+
+    def test_cx_is_clifford_toffoli_is_not(self):
+        assert Operation("x", (1,), (0,)).is_clifford()
+        assert not Operation("x", (2,), (0, 1)).is_clifford()

@@ -1,0 +1,267 @@
+"""Unit tests for the OpenQASM 2.0 reader/writer (`repro.circuit.qasm`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    QasmError,
+    QuantumCircuit,
+    circuit_from_qasm,
+    circuit_to_qasm,
+    circuit_unitary,
+    unitaries_equivalent,
+)
+from tests.conftest import random_circuit
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParserBasics:
+    def test_empty_program(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[3];")
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+
+    def test_simple_gates(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        assert circuit[0].name == "h"
+        assert circuit[1].name == "x"
+        assert circuit[1].controls == (0,)
+
+    def test_comments_ignored(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1]; // register\n// a comment\nx q[0]; // flip\n"
+        )
+        assert len(circuit) == 1
+
+    def test_measure_barrier_reset_skipped(self):
+        text = (
+            HEADER
+            + "qreg q[2]; creg c[2];\nh q[0];\nbarrier q;\n"
+            + "measure q[0] -> c[0];\nreset q[1];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert len(circuit) == 1
+
+    def test_multiple_registers_flattened(self):
+        text = HEADER + "qreg a[2]; qreg b[2];\ncx a[1],b[0];\n"
+        circuit = circuit_from_qasm(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0].controls == (1,)
+        assert circuit[0].targets == (2,)
+
+    def test_register_broadcast(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[3];\nh q;\n")
+        assert len(circuit) == 3
+        assert {op.targets[0] for op in circuit} == {0, 1, 2}
+
+    def test_broadcast_two_registers(self):
+        text = HEADER + "qreg a[2]; qreg b[2];\ncx a,b;\n"
+        circuit = circuit_from_qasm(text)
+        assert len(circuit) == 2
+
+    def test_parameter_expressions(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1];\nrz(pi/2) q[0];\nrz(-3*pi/4) q[0];\n"
+            "rz(2*pi/8+0.25) q[0];\nrz(cos(0)) q[0];\n"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+        assert circuit[1].params[0] == pytest.approx(-3 * math.pi / 4)
+        assert circuit[2].params[0] == pytest.approx(math.pi / 4 + 0.25)
+        assert circuit[3].params[0] == pytest.approx(1.0)
+
+    def test_u_gates(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1];\nu1(0.5) q[0];\nu2(0.1,0.2) q[0];\n"
+            "u3(0.1,0.2,0.3) q[0];\nu(0.1,0.2,0.3) q[0];\n"
+        )
+        assert [op.name for op in circuit] == ["p", "u2", "u3", "u3"]
+
+    def test_multi_controlled_builtins(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[5];\nccx q[0],q[1],q[2];\nc3x q[0],q[1],q[2],q[3];\n"
+            "c4x q[0],q[1],q[2],q[3],q[4];\nmcx_3 q[1],q[2],q[3],q[0];\n"
+        )
+        assert [len(op.controls) for op in circuit] == [2, 3, 4, 3]
+
+
+class TestParserErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nfrob q[0];\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nx r[0];\n")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nx q[4];\n")
+
+    def test_duplicate_register(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1]; qreg q[2];\n")
+
+    def test_wrong_qubit_count(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[2];\ncx q[0];\n")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nrz q[0];\n")
+
+    def test_garbage_token(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nx q[0]; @\n")
+
+    def test_mismatched_broadcast(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg a[2]; qreg b[3];\ncx a,b;\n")
+
+
+class TestGateMacros:
+    def test_simple_macro_expansion(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate bell a,b { h a; cx a,b; }\n"
+            + "bell q[0],q[1];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert [op.name for op in circuit] == ["h", "x"]
+
+    def test_parameterized_macro(self):
+        text = (
+            HEADER
+            + "qreg q[1];\n"
+            + "gate wiggle(t) a { rz(t/2) a; rx(-t) a; }\n"
+            + "wiggle(0.8) q[0];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert circuit[0].params[0] == pytest.approx(0.4)
+        assert circuit[1].params[0] == pytest.approx(-0.8)
+
+    def test_nested_macros(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate inner a { h a; }\n"
+            + "gate outer a,b { inner a; cx a,b; inner b; }\n"
+            + "outer q[0],q[1];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert [op.name for op in circuit] == ["h", "x", "h"]
+
+    def test_macro_semantics_match_inline(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate entangle(t) a,b { h a; cx a,b; rz(t) b; }\n"
+            + "entangle(1.1) q[0],q[1];\n"
+        )
+        inline = QuantumCircuit(2).h(0).cx(0, 1).rz(1.1, 1)
+        assert unitaries_equivalent(
+            circuit_unitary(circuit_from_qasm(text)), circuit_unitary(inline)
+        )
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuit_roundtrip(self, seed):
+        circuit = random_circuit(4, 30, seed=seed)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert unitaries_equivalent(
+            circuit_unitary(parsed), circuit_unitary(circuit)
+        )
+
+    def test_mcx_roundtrip(self):
+        circuit = QuantumCircuit(7).mcx([0, 1, 2, 3, 4, 5], 6)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed[0].controls == (0, 1, 2, 3, 4, 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_roundtrip_property(self, seed):
+        circuit = random_circuit(3, 12, seed=seed)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed.operations == circuit.operations
+
+
+class TestExpressionEdgeCases:
+    def test_power_operator(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[1];\nrz(2^3) q[0];\n")
+        assert circuit[0].params[0] == pytest.approx(8.0)
+
+    def test_nested_parentheses(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1];\nrz(((pi))/((2))) q[0];\n"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_unary_plus_and_minus(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1];\nrz(+0.5) q[0];\nrz(--0.5) q[0];\n"
+        )
+        assert circuit[0].params[0] == pytest.approx(0.5)
+        assert circuit[1].params[0] == pytest.approx(0.5)
+
+    def test_scientific_notation(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[1];\nrz(1e-2) q[0];\n")
+        assert circuit[0].params[0] == pytest.approx(0.01)
+
+    def test_function_composition(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[1];\nrz(sqrt(cos(0)+3)) q[0];\n"
+        )
+        assert circuit[0].params[0] == pytest.approx(2.0)
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm(HEADER + "qreg q[1];\nrz(tau) q[0];\n")
+
+    def test_u0_is_identity(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[1];\nu0(3) q[0];\n")
+        assert circuit[0].name == "id"
+        assert circuit[0].params == ()
+
+
+class TestMacroEdgeCases:
+    def test_empty_gate_body(self):
+        text = HEADER + "qreg q[1];\ngate nop a { }\nnop q[0];\n"
+        assert len(circuit_from_qasm(text)) == 0
+
+    def test_barrier_inside_gate_body_skipped(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate g a,b { h a; barrier a,b; cx a,b; }\n"
+            + "g q[0],q[1];\n"
+        )
+        assert [op.name for op in circuit_from_qasm(text)] == ["h", "x"]
+
+    def test_macro_wrong_arity_rejected(self):
+        text = HEADER + "qreg q[2];\ngate g a { h a; }\ng q[0],q[1];\n"
+        with pytest.raises(QasmError):
+            circuit_from_qasm(text)
+
+    def test_macro_param_expression_uses_binding(self):
+        text = (
+            HEADER
+            + "qreg q[1];\n"
+            + "gate g(x,y) a { rz(x*y+pi) a; }\n"
+            + "g(2,3) q[0];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert circuit[0].params[0] == pytest.approx(6 + math.pi)
+
+    def test_cnot_alias(self):
+        # "CX" is the OpenQASM built-in spelling
+        circuit = circuit_from_qasm(HEADER + "qreg q[2];\nCX q[0],q[1];\n")
+        assert circuit[0].name == "x"
+        assert circuit[0].controls == (0,)

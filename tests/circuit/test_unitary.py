@@ -1,0 +1,135 @@
+"""Unit tests for the dense reference semantics (`repro.circuit.unitary`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    QuantumCircuit,
+    circuit_unitary,
+    hilbert_schmidt_fidelity,
+    operation_unitary,
+    statevector,
+    unitaries_equivalent,
+)
+from repro.circuit.gate import Operation, base_matrix
+from repro.circuit.unitary import permutation_matrix
+from tests.conftest import random_circuit
+
+
+class TestOperationUnitary:
+    def test_single_qubit_on_lsb(self):
+        x_full = operation_unitary(Operation("x", (0,)), 2)
+        np.testing.assert_allclose(
+            x_full, np.kron(np.eye(2), base_matrix("x")), atol=1e-12
+        )
+
+    def test_single_qubit_on_msb(self):
+        x_full = operation_unitary(Operation("x", (1,)), 2)
+        np.testing.assert_allclose(
+            x_full, np.kron(base_matrix("x"), np.eye(2)), atol=1e-12
+        )
+
+    def test_cx_control_lsb(self):
+        # control qubit 0 (LSB), target qubit 1: |01> -> |11>
+        cx = operation_unitary(Operation("x", (1,), (0,)), 2)
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[2, 2] = 1  # control 0: unchanged
+        expected[3, 1] = expected[1, 3] = 1  # control 1: flip target
+        np.testing.assert_allclose(cx, expected, atol=1e-12)
+
+    def test_toffoli_truth_table(self):
+        ccx = operation_unitary(Operation("x", (2,), (0, 1)), 3)
+        for basis in range(8):
+            image = basis ^ (4 if (basis & 3) == 3 else 0)
+            assert ccx[image, basis] == pytest.approx(1.0)
+
+    def test_swap_exchanges(self):
+        swap = operation_unitary(Operation("swap", (0, 1)), 2)
+        assert swap[1, 2] == pytest.approx(1.0)
+        assert swap[2, 1] == pytest.approx(1.0)
+
+    def test_controlled_phase_symmetry(self):
+        a = operation_unitary(Operation("p", (1,), (0,), (0.7,)), 2)
+        b = operation_unitary(Operation("p", (0,), (1,), (0.7,)), 2)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestCircuitUnitary:
+    def test_gate_order_left_to_right(self):
+        circuit = QuantumCircuit(1).x(0).h(0)
+        expected = base_matrix("h") @ base_matrix("x")
+        np.testing.assert_allclose(circuit_unitary(circuit), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits_are_unitary(self, seed):
+        circuit = random_circuit(3, 20, seed=seed)
+        unitary = circuit_unitary(circuit)
+        np.testing.assert_allclose(
+            unitary @ unitary.conj().T, np.eye(8), atol=1e-9
+        )
+
+    def test_statevector_matches_unitary_column(self):
+        circuit = random_circuit(3, 15, seed=4)
+        np.testing.assert_allclose(
+            statevector(circuit), circuit_unitary(circuit)[:, 0], atol=1e-9
+        )
+
+    def test_statevector_custom_initial(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        initial = np.zeros(4, dtype=complex)
+        initial[1] = 1.0  # |01>: qubit0 = 1
+        final = statevector(circuit, initial)
+        assert abs(final[3]) == pytest.approx(1.0)
+
+    def test_statevector_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            statevector(QuantumCircuit(2), np.zeros(3))
+
+
+class TestPermutationMatrix:
+    def test_identity(self):
+        np.testing.assert_allclose(
+            permutation_matrix({}, 2), np.eye(4), atol=1e-12
+        )
+
+    def test_swap_wires(self):
+        p = permutation_matrix({0: 1, 1: 0}, 2)
+        swap = operation_unitary(Operation("swap", (0, 1)), 2)
+        np.testing.assert_allclose(p, swap, atol=1e-12)
+
+    def test_three_cycle(self):
+        p = permutation_matrix({0: 1, 1: 2, 2: 0}, 3)
+        # |001> (qubit0=1) -> qubit 1 set -> |010>
+        assert p[2, 1] == pytest.approx(1.0)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_matrix({0: 1, 1: 1}, 2)
+
+
+class TestEquivalencePredicates:
+    def test_global_phase_ignored(self):
+        u = circuit_unitary(random_circuit(2, 10, seed=2))
+        assert unitaries_equivalent(u, np.exp(0.321j) * u)
+
+    def test_different_unitaries_rejected(self):
+        x = operation_unitary(Operation("x", (0,)), 1)
+        z = operation_unitary(Operation("z", (0,)), 1)
+        assert not unitaries_equivalent(x, z)
+
+    def test_fidelity_range(self):
+        u = circuit_unitary(random_circuit(2, 10, seed=3))
+        assert hilbert_schmidt_fidelity(u, u) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_schmidt_fidelity(np.eye(2), np.eye(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0, 2 * math.pi))
+    def test_phase_invariance_property(self, seed, phase):
+        u = circuit_unitary(random_circuit(2, 8, seed=seed))
+        assert unitaries_equivalent(u, np.exp(1j * phase) * u)

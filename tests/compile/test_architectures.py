@@ -1,0 +1,72 @@
+"""Tests for coupling maps (`repro.compile.architectures`)."""
+
+import networkx as nx
+import pytest
+
+from repro.compile.architectures import (
+    CouplingMap,
+    grid_architecture,
+    line_architecture,
+    manhattan_architecture,
+    ring_architecture,
+)
+
+
+class TestCouplingMap:
+    def test_adjacency(self):
+        device = line_architecture(4)
+        assert device.adjacent(0, 1)
+        assert device.adjacent(1, 0)
+        assert not device.adjacent(0, 2)
+
+    def test_distance(self):
+        device = line_architecture(5)
+        assert device.distance(0, 4) == 4
+        assert device.distance(2, 2) == 0
+
+    def test_shortest_path_endpoints(self):
+        device = grid_architecture(3, 3)
+        path = device.shortest_path(0, 8)
+        assert path[0] == 0
+        assert path[-1] == 8
+        assert len(path) == device.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert device.adjacent(a, b)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(4, [(0, 1), (2, 3)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 5)])
+
+
+class TestTopologies:
+    def test_line(self):
+        device = line_architecture(5)
+        assert device.num_qubits == 5
+        assert len(device.edges) == 4
+
+    def test_ring(self):
+        device = ring_architecture(6)
+        assert len(device.edges) == 6
+        assert device.adjacent(0, 5)
+
+    def test_grid(self):
+        device = grid_architecture(2, 3)
+        assert device.num_qubits == 6
+        assert len(device.edges) == 7
+
+    def test_manhattan_is_65_qubit_heavy_hex(self):
+        """The paper's target: 65 qubits, degree <= 3, connected."""
+        device = manhattan_architecture()
+        assert device.num_qubits == 65
+        assert nx.is_connected(device.graph)
+        degrees = [device.graph.degree(q) for q in range(65)]
+        assert max(degrees) <= 3
+        # heavy-hex devices are sparse: roughly 72 edges on 65 qubits
+        assert 60 <= len(device.edges) <= 80
+
+    def test_manhattan_deterministic(self):
+        assert manhattan_architecture().edges == manhattan_architecture().edges

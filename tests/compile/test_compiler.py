@@ -1,0 +1,95 @@
+"""End-to-end tests of the compilation flow (`repro.compile.compiler`)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.unitary import permutation_matrix
+from repro.compile import (
+    compile_circuit,
+    grid_architecture,
+    line_architecture,
+    manhattan_architecture,
+)
+from tests.conftest import random_circuit
+from tests.compile.test_routing import routed_equivalent
+
+
+class TestCompileCircuit:
+    @pytest.mark.parametrize("layout", ["trivial", "greedy"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_compiled_is_equivalent(self, layout, seed):
+        circuit = random_circuit(4, 20, seed=seed)
+        compiled = compile_circuit(
+            circuit, line_architecture(6), layout_method=layout
+        )
+        assert routed_equivalent(circuit, compiled)
+
+    def test_output_respects_coupling_map(self):
+        circuit = random_circuit(4, 20, seed=5)
+        device = grid_architecture(2, 3)
+        compiled = compile_circuit(circuit, device)
+        for op in compiled:
+            if op.num_qubits == 2:
+                a, b = op.qubits
+                assert device.adjacent(a, b), op
+
+    def test_output_gate_set(self):
+        circuit = random_circuit(4, 20, seed=6)
+        compiled = compile_circuit(circuit, line_architecture(6))
+        for op in compiled:
+            assert (not op.controls and op.name == "u3") or (
+                op.name == "x" and len(op.controls) == 1
+            )
+
+    def test_swaps_decomposed_by_default(self):
+        circuit = QuantumCircuit(3).cx(0, 2)
+        compiled = compile_circuit(circuit, line_architecture(3))
+        assert "swap" not in compiled.count_ops()
+
+    def test_swap_primitives_on_request(self):
+        circuit = QuantumCircuit(3).cx(0, 2)
+        compiled = compile_circuit(
+            circuit,
+            line_architecture(3),
+            layout_method="trivial",
+            decompose_swaps=False,
+            optimization_level=0,
+        )
+        assert compiled.count_ops().get("swap", 0) >= 1
+
+    def test_existing_layout_metadata_rejected(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        circuit.initial_layout = {0: 1, 1: 0}
+        with pytest.raises(ValueError):
+            compile_circuit(circuit, line_architecture(3))
+
+    def test_unknown_layout_method_rejected(self):
+        with pytest.raises(ValueError):
+            compile_circuit(
+                QuantumCircuit(1), line_architecture(2), layout_method="magic"
+            )
+
+    def test_explicit_placement(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        compiled = compile_circuit(
+            circuit, line_architecture(4), placement={0: 2, 1: 3}
+        )
+        assert compiled.initial_layout[2] == 0
+        assert compiled.initial_layout[3] == 1
+        assert routed_equivalent(circuit, compiled)
+
+    def test_high_level_gates_handled(self):
+        circuit = QuantumCircuit(4).ccx(0, 1, 2).mcx([0, 1, 2], 3)
+        compiled = compile_circuit(circuit, line_architecture(5))
+        assert routed_equivalent(circuit, compiled)
+
+    def test_compile_to_manhattan(self):
+        """The paper's setting: compile to the 65-qubit heavy-hex device."""
+        circuit = random_circuit(4, 10, seed=7, gate_set="clifford_t")
+        compiled = compile_circuit(circuit, manhattan_architecture())
+        assert compiled.num_qubits == 65
+        device = manhattan_architecture()
+        for op in compiled:
+            if op.num_qubits == 2:
+                assert device.adjacent(*op.qubits)

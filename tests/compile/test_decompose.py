@@ -1,0 +1,140 @@
+"""Tests for gate decomposition (`repro.compile.decompose`)."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.gate import Operation, base_matrix
+from repro.compile.decompose import (
+    decompose_for_zx,
+    decompose_to_basis,
+    decompose_to_cx_and_singles,
+    zyz_angles,
+)
+from tests.conftest import random_circuit
+
+CONTROLLED_CASES = [
+    (Operation("x", (2,), (0, 1)), 3),
+    (Operation("z", (2,), (0, 1)), 3),
+    (Operation("x", (3,), (0, 1, 2)), 4),
+    (Operation("x", (0,), (1, 2, 3, 4)), 5),
+    (Operation("p", (1,), (0,), (0.7,)), 2),
+    (Operation("p", (2,), (0, 1), (0.7,)), 3),
+    (Operation("rz", (1,), (0,), (1.1,)), 2),
+    (Operation("ry", (1,), (0,), (1.1,)), 2),
+    (Operation("rx", (1,), (0,), (1.1,)), 2),
+    (Operation("h", (1,), (0,)), 2),
+    (Operation("y", (1,), (0,)), 2),
+    (Operation("s", (1,), (0,)), 2),
+    (Operation("tdg", (1,), (0,)), 2),
+    (Operation("sx", (1,), (0,)), 2),
+    (Operation("u3", (1,), (0,), (0.3, 0.9, 1.7)), 2),
+    (Operation("u2", (1,), (0,), (0.9, 1.7)), 2),
+    (Operation("swap", (0, 1)), 2),
+    (Operation("swap", (1, 2), (0,)), 3),
+    (Operation("swap", (1, 2), (0, 3)), 4),
+    (Operation("iswap", (0, 1)), 2),
+    (Operation("iswap", (1, 2), (0,)), 3),
+    (Operation("rzz", (0, 1), (), (0.8,)), 2),
+    (Operation("rzz", (1, 2), (0,), (0.8,)), 3),
+    (Operation("rxx", (0, 1), (), (0.8,)), 2),
+]
+
+
+class TestLowering:
+    @pytest.mark.parametrize("op,n", CONTROLLED_CASES, ids=str)
+    def test_cx_and_singles_semantics(self, op, n):
+        circuit = QuantumCircuit(n).append(op)
+        lowered = decompose_to_cx_and_singles(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(lowered), circuit_unitary(circuit)
+        )
+
+    @pytest.mark.parametrize("op,n", CONTROLLED_CASES, ids=str)
+    def test_cx_and_singles_gate_set(self, op, n):
+        circuit = QuantumCircuit(n).append(op)
+        for lowered in decompose_to_cx_and_singles(circuit):
+            assert len(lowered.targets) == 1
+            assert len(lowered.controls) <= 1
+            if lowered.controls:
+                assert lowered.name == "x"
+
+    @pytest.mark.parametrize("op,n", CONTROLLED_CASES, ids=str)
+    def test_zx_lowering_semantics(self, op, n):
+        circuit = QuantumCircuit(n).append(op)
+        lowered = decompose_for_zx(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(lowered), circuit_unitary(circuit)
+        )
+
+    def test_toffoli_uses_clifford_t(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        lowered = decompose_to_cx_and_singles(circuit)
+        names = {op.name for op in lowered}
+        assert names <= {"h", "t", "tdg", "x"}
+        assert sum(1 for op in lowered if op.controls) == 6
+
+    def test_layout_metadata_preserved(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        circuit.initial_layout = {0: 1, 1: 0}
+        circuit.output_permutation = {2: 2}
+        lowered = decompose_to_cx_and_singles(circuit)
+        assert lowered.initial_layout == circuit.initial_layout
+        assert lowered.output_permutation == circuit.output_permutation
+
+
+class TestBasisPass:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semantics_preserved(self, seed):
+        circuit = random_circuit(4, 25, seed=seed)
+        basis = decompose_to_basis(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(basis), circuit_unitary(circuit)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gate_set_is_u3_cx(self, seed):
+        circuit = random_circuit(4, 25, seed=seed)
+        for op in decompose_to_basis(circuit):
+            assert (op.name == "u3" and not op.controls) or (
+                op.name == "x" and len(op.controls) == 1
+            )
+
+    def test_single_qubit_runs_fused(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0).s(0)
+        basis = decompose_to_basis(circuit)
+        assert len(basis) == 1
+
+    def test_identity_run_dropped(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert len(decompose_to_basis(circuit)) == 0
+
+
+class TestZYZ:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0, 2 * math.pi),
+        st.floats(0, 2 * math.pi),
+        st.floats(0, 2 * math.pi),
+        st.floats(0, 2 * math.pi),
+    )
+    def test_roundtrip(self, theta, phi, lam, extra_phase):
+        matrix = cmath.exp(1j * extra_phase) * base_matrix(
+            "u3", (theta, phi, lam)
+        )
+        t, p, l, g = zyz_angles(matrix)
+        rebuilt = cmath.exp(1j * g) * base_matrix("u3", (t, p, l))
+        np.testing.assert_allclose(rebuilt, matrix, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "name", ["id", "x", "y", "z", "h", "s", "t", "sx"]
+    )
+    def test_named_gates(self, name):
+        matrix = base_matrix(name)
+        t, p, l, g = zyz_angles(matrix)
+        rebuilt = cmath.exp(1j * g) * base_matrix("u3", (t, p, l))
+        np.testing.assert_allclose(rebuilt, matrix, atol=1e-9)

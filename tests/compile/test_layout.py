@@ -1,0 +1,68 @@
+"""Additional tests for layout selection (`repro.compile.layout`)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compile.architectures import (
+    grid_architecture,
+    line_architecture,
+    manhattan_architecture,
+)
+from repro.compile.layout import greedy_layout, trivial_layout
+from tests.conftest import random_circuit
+
+
+class TestGreedyLayout:
+    def test_deterministic(self):
+        circuit = random_circuit(5, 25, seed=1)
+        device = grid_architecture(3, 3)
+        assert greedy_layout(circuit, device) == greedy_layout(circuit, device)
+
+    def test_empty_circuit_places_all_qubits(self):
+        placement = greedy_layout(QuantumCircuit(3), line_architecture(5))
+        assert sorted(placement) == [0, 1, 2]
+        assert len(set(placement.values())) == 3
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_layout(QuantumCircuit(10), line_architecture(5))
+
+    def test_heavy_interaction_pair_adjacent(self):
+        circuit = QuantumCircuit(4)
+        for _ in range(10):
+            circuit.cx(1, 3)
+        circuit.cx(0, 2)
+        device = manhattan_architecture()
+        placement = greedy_layout(circuit, device)
+        assert device.distance(placement[1], placement[3]) == 1
+
+    def test_triangle_interaction_on_grid(self):
+        """Three mutually interacting qubits land pairwise close."""
+        circuit = QuantumCircuit(3)
+        for _ in range(5):
+            circuit.cx(0, 1).cx(1, 2).cx(0, 2)
+        device = grid_architecture(3, 3)
+        placement = greedy_layout(circuit, device)
+        total = sum(
+            device.distance(placement[a], placement[b])
+            for a, b in ((0, 1), (1, 2), (0, 2))
+        )
+        assert total <= 4  # a tight triangle on the grid
+
+    def test_seed_qubit_is_well_connected(self):
+        """The busiest logical qubit goes to a high-degree physical one."""
+        circuit = QuantumCircuit(3)
+        for _ in range(4):
+            circuit.cx(0, 1).cx(0, 2)
+        device = line_architecture(5)
+        placement = greedy_layout(circuit, device)
+        # on a line, high centrality = middle qubits
+        assert placement[0] in (1, 2, 3)
+
+
+class TestTrivialLayout:
+    def test_identity(self):
+        circuit = QuantumCircuit(4)
+        assert trivial_layout(circuit, line_architecture(6)) == {
+            0: 0, 1: 1, 2: 2, 3: 3,
+        }

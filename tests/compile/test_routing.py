@@ -1,0 +1,164 @@
+"""Tests for layout and SWAP routing (`repro.compile.layout` / `routing`)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.unitary import permutation_matrix
+from repro.compile.architectures import grid_architecture, line_architecture
+from repro.compile.layout import greedy_layout, trivial_layout
+from repro.compile.routing import route_circuit
+from tests.conftest import random_circuit
+
+
+def routed_equivalent(original, routed):
+    """Dense ground-truth check honouring layout metadata."""
+    n, N = original.num_qubits, routed.num_qubits
+    full = np.kron(np.eye(2 ** (N - n)), circuit_unitary(original))
+    layout = routed.resolved_initial_layout()
+    out = routed.resolved_output_permutation()
+    p_in = permutation_matrix({l: p for p, l in layout.items()}, N)
+    p_out = permutation_matrix({l: p for p, l in out.items()}, N)
+    return unitaries_equivalent(
+        p_out.conj().T @ circuit_unitary(routed) @ p_in, full
+    )
+
+
+class TestLayout:
+    def test_trivial_layout(self):
+        circuit = QuantumCircuit(3)
+        assert trivial_layout(circuit, line_architecture(5)) == {0: 0, 1: 1, 2: 2}
+
+    def test_trivial_layout_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            trivial_layout(QuantumCircuit(6), line_architecture(5))
+
+    def test_greedy_layout_is_injective(self):
+        circuit = random_circuit(4, 20, seed=3)
+        placement = greedy_layout(circuit, grid_architecture(3, 3))
+        assert len(set(placement.values())) == 4
+
+    def test_greedy_layout_places_partners_close(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        device = line_architecture(6)
+        placement = greedy_layout(circuit, device)
+        assert device.distance(placement[0], placement[1]) == 1
+
+
+class TestRouting:
+    def test_adjacent_gates_unchanged(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        routed = route_circuit(circuit, line_architecture(2))
+        assert len(routed) == 1
+
+    def test_distant_gate_inserts_swaps(self):
+        circuit = QuantumCircuit(3).cx(0, 2)
+        routed = route_circuit(
+            circuit, line_architecture(3), decompose_swaps=False
+        )
+        assert routed.count_ops()["swap"] >= 1
+
+    def test_swap_decomposition_default(self):
+        circuit = QuantumCircuit(3).cx(0, 2)
+        routed = route_circuit(circuit, line_architecture(3))
+        assert "swap" not in routed.count_ops()
+        assert routed.count_ops()["cx"] >= 4
+
+    def test_gate_wider_than_two_rejected(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            route_circuit(circuit, line_architecture(3))
+
+    def test_non_injective_placement_rejected(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            route_circuit(circuit, line_architecture(3), {0: 1, 1: 1})
+
+    def test_output_permutation_covers_all_wires(self):
+        circuit = random_circuit(3, 15, seed=2, gate_set="clifford_t")
+        routed = route_circuit(circuit, line_architecture(5))
+        assert sorted(routed.initial_layout) == list(range(5))
+        assert sorted(routed.output_permutation) == list(range(5))
+        assert sorted(routed.output_permutation.values()) == list(range(5))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_routed_circuit_equivalent_line(self, seed):
+        circuit = random_circuit(4, 15, seed=seed, gate_set="clifford_t")
+        routed = route_circuit(circuit, line_architecture(6))
+        assert routed_equivalent(circuit, routed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_routed_circuit_equivalent_grid_greedy(self, seed):
+        circuit = random_circuit(5, 20, seed=seed, gate_set="clifford_t")
+        device = grid_architecture(2, 4)
+        placement = greedy_layout(circuit, device)
+        routed = route_circuit(circuit, device, placement)
+        assert routed_equivalent(circuit, routed)
+
+    def test_paper_fig2_scenario(self):
+        """GHZ on a 5-qubit line: one SWAP, permuted outputs."""
+        ghz = QuantumCircuit(3).h(0).cx(0, 1).cx(0, 2)
+        routed = route_circuit(
+            ghz, line_architecture(5), decompose_swaps=False
+        )
+        assert routed.count_ops()["swap"] == 1
+        out = routed.resolved_output_permutation()
+        assert out[1] == 2 and out[2] == 1  # q1 ends on Q2, q2 on Q1
+        assert routed_equivalent(ghz, routed)
+
+
+class TestLookaheadRouting:
+    def test_unknown_method_rejected(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            route_circuit(
+                circuit, line_architecture(3), routing_method="teleport"
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lookahead_routed_circuit_equivalent(self, seed):
+        circuit = random_circuit(4, 20, seed=seed, gate_set="clifford_t")
+        routed = route_circuit(
+            circuit, line_architecture(6), routing_method="lookahead"
+        )
+        assert routed_equivalent(circuit, routed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lookahead_equivalent_on_grid(self, seed):
+        circuit = random_circuit(6, 25, seed=seed, gate_set="clifford_t")
+        device = grid_architecture(2, 4)
+        routed = route_circuit(circuit, device, routing_method="lookahead")
+        assert routed_equivalent(circuit, routed)
+        for op in routed:
+            if op.num_qubits == 2:
+                assert device.adjacent(*op.qubits)
+
+    def test_lookahead_never_worse_on_repeated_pair(self):
+        """A circuit that keeps using the same distant pair: lookahead
+        should not shuttle qubits back and forth."""
+        circuit = QuantumCircuit(4)
+        for _ in range(6):
+            circuit.cx(0, 3)
+            circuit.cx(1, 2)
+        device = line_architecture(4)
+        basic = route_circuit(
+            circuit, device, decompose_swaps=False, routing_method="basic"
+        )
+        lookahead = route_circuit(
+            circuit, device, decompose_swaps=False,
+            routing_method="lookahead",
+        )
+        assert lookahead.count_ops().get("swap", 0) <= basic.count_ops().get(
+            "swap", 0
+        )
+
+    def test_compile_circuit_accepts_routing_method(self):
+        from repro.compile import compile_circuit
+
+        circuit = random_circuit(4, 15, seed=9, gate_set="clifford_t")
+        compiled = compile_circuit(
+            circuit, line_architecture(6), routing_method="lookahead"
+        )
+        assert routed_equivalent(circuit, compiled)

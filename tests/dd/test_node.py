@@ -1,0 +1,38 @@
+"""Tests for DD node/edge primitives (`repro.dd.node`)."""
+
+from repro.dd.node import MEdge, MNode, TERMINAL, VEdge, VNode
+
+
+class TestEdges:
+    def test_vector_edge_equality(self):
+        node = VNode(0, (VEdge(TERMINAL, 1 + 0j), VEdge(TERMINAL, 0j)))
+        assert VEdge(node, 0.5 + 0j) == VEdge(node, 0.5 + 0j)
+        assert VEdge(node, 0.5 + 0j) != VEdge(node, 0.25 + 0j)
+        assert VEdge(TERMINAL, 0.5 + 0j) != VEdge(node, 0.5 + 0j)
+
+    def test_matrix_edge_equality(self):
+        zero = MEdge(TERMINAL, 0j)
+        one = MEdge(TERMINAL, 1 + 0j)
+        node = MNode(0, (one, zero, zero, one))
+        assert MEdge(node, 1j) == MEdge(node, 1j)
+        assert MEdge(node, 1j) != MEdge(node, -1j)
+
+    def test_edges_hashable(self):
+        edges = {MEdge(TERMINAL, 1 + 0j), MEdge(TERMINAL, 1 + 0j)}
+        assert len(edges) == 1
+
+    def test_zero_predicates(self):
+        assert MEdge(TERMINAL, 0j).is_zero
+        assert not MEdge(TERMINAL, 1e-30 + 0j).is_zero  # exact zero only
+        assert VEdge(TERMINAL, 0j).is_zero
+
+    def test_terminal_predicates(self):
+        assert MEdge(TERMINAL, 1 + 0j).is_terminal
+        node = MNode(0, (MEdge(TERMINAL, 1 + 0j),) * 4)
+        assert not MEdge(node, 1 + 0j).is_terminal
+
+    def test_terminal_level(self):
+        assert TERMINAL.level == -1
+
+    def test_cross_type_equality_is_false(self):
+        assert MEdge(TERMINAL, 1 + 0j) != VEdge(TERMINAL, 1 + 0j)

@@ -1,0 +1,106 @@
+"""Tests for permutation handling (`repro.ec.permutations`)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.circuit.circuit import compiled_ghz_example, ghz_example
+from repro.circuit.unitary import permutation_matrix
+from repro.compile import compile_circuit, line_architecture
+from repro.ec.permutations import reconstruct_swaps, to_logical_form
+from tests.conftest import random_circuit
+
+
+class TestReconstructSwaps:
+    def test_cnot_triple_becomes_swap(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0).cx(0, 1)
+        rebuilt = reconstruct_swaps(circuit)
+        assert rebuilt.count_ops() == {"swap": 1}
+
+    def test_partial_triple_untouched(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        rebuilt = reconstruct_swaps(circuit)
+        assert rebuilt.count_ops() == {"cx": 2}
+
+    def test_same_direction_triple_untouched(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        rebuilt = reconstruct_swaps(circuit)
+        assert rebuilt.count_ops() == {"cx": 3}
+
+    def test_semantics_preserved(self):
+        circuit = random_circuit(3, 10, seed=1).cx(0, 1).cx(1, 0).cx(0, 1)
+        rebuilt = reconstruct_swaps(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(rebuilt), circuit_unitary(circuit)
+        )
+
+    def test_multiple_triples(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 0).cx(0, 1)
+        circuit.h(2)
+        circuit.cx(1, 2).cx(2, 1).cx(1, 2)
+        rebuilt = reconstruct_swaps(circuit)
+        assert rebuilt.count_ops()["swap"] == 2
+
+
+class TestToLogicalForm:
+    def test_plain_circuit_unchanged(self):
+        # clifford_t circuits contain no SWAPs, so nothing is elided
+        circuit = random_circuit(3, 10, seed=2, gate_set="clifford_t")
+        logical, stats = to_logical_form(circuit)
+        assert logical.operations == circuit.operations
+        assert stats["correction_swaps"] == 0
+
+    def test_plain_circuit_with_swaps_stays_equivalent(self):
+        circuit = random_circuit(3, 10, seed=2)  # may contain SWAPs
+        logical, _ = to_logical_form(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(logical), circuit_unitary(circuit)
+        )
+
+    def test_width_extension(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        logical, _ = to_logical_form(circuit, num_qubits=4)
+        assert logical.num_qubits == 4
+
+    def test_shrinking_rejected(self):
+        with pytest.raises(ValueError):
+            to_logical_form(QuantumCircuit(3), num_qubits=2)
+
+    def test_swaps_elided(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        circuit.output_permutation = {0: 1, 1: 0}
+        logical, stats = to_logical_form(circuit)
+        assert stats["swaps_elided"] == 1
+        assert len(logical) == 0  # swap matches declared permutation
+
+    def test_correction_swaps_added_on_mismatch(self):
+        circuit = QuantumCircuit(2).swap(0, 1)  # metadata claims identity
+        logical, stats = to_logical_form(circuit)
+        assert stats["correction_swaps"] == 1
+
+    def test_logical_form_semantics(self):
+        """P_out† U' P_in == U_logical for the compiled GHZ example."""
+        compiled = compiled_ghz_example()
+        logical, stats = to_logical_form(compiled)
+        assert stats["swaps_reconstructed"] == 1
+        expected = np.kron(np.eye(4), circuit_unitary(ghz_example()))
+        assert unitaries_equivalent(circuit_unitary(logical), expected)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_compiled_circuit_logical_form_matches_original(self, seed):
+        circuit = random_circuit(4, 15, seed=seed, gate_set="clifford_t")
+        compiled = compile_circuit(circuit, line_architecture(6))
+        logical, _ = to_logical_form(compiled)
+        expected = np.kron(np.eye(4), circuit_unitary(circuit))
+        assert unitaries_equivalent(circuit_unitary(logical), expected)
+
+    def test_elision_disabled_keeps_swaps(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        circuit.output_permutation = {0: 1, 1: 0}
+        logical, stats = to_logical_form(circuit, elide_permutations=False)
+        assert stats["swaps_elided"] == 0
+        # correction now undoes the declared output permutation explicitly
+        assert unitaries_equivalent(
+            circuit_unitary(logical), np.eye(4)
+        )

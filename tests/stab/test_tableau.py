@@ -1,0 +1,204 @@
+"""Tests for the Clifford tableau substrate (`repro.stab`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.stab import CliffordTableau, NonCliffordGateError
+from tests.conftest import random_circuit
+
+
+def clifford_circuit(num_qubits, num_gates, seed):
+    """Random Clifford circuit (strip T gates from the clifford_t set)."""
+    raw = random_circuit(num_qubits, num_gates, seed=seed, gate_set="clifford_t")
+    circuit = QuantumCircuit(num_qubits)
+    for op in raw:
+        if op.name not in ("t", "tdg"):
+            circuit.append(op)
+    return circuit
+
+
+class TestPrimitives:
+    def test_identity_tableau(self):
+        assert CliffordTableau(3).is_identity()
+
+    def test_h_squared_is_identity(self):
+        tableau = CliffordTableau(1)
+        tableau.apply_h(0)
+        tableau.apply_h(0)
+        assert tableau.is_identity()
+
+    def test_s_fourth_power_is_identity(self):
+        tableau = CliffordTableau(1)
+        for _ in range(4):
+            tableau.apply_s(0)
+        assert tableau.is_identity()
+
+    def test_cx_squared_is_identity(self):
+        tableau = CliffordTableau(2)
+        tableau.apply_cx(0, 1)
+        tableau.apply_cx(0, 1)
+        assert tableau.is_identity()
+
+    def test_hzh_equals_x(self):
+        a = CliffordTableau(1)
+        a.apply_h(0)
+        a.apply_s(0)
+        a.apply_s(0)
+        a.apply_h(0)
+        b = CliffordTableau.from_circuit(QuantumCircuit(1).x(0))
+        assert a == b
+
+    def test_x_conjugation_signs(self):
+        """X Z X = -Z: the sign bit must flip on the Z row."""
+        tableau = CliffordTableau.from_circuit(QuantumCircuit(1).x(0))
+        # row 1 is the image of Z_0: must be -Z
+        assert tableau.z[1, 0] and not tableau.x[1, 0]
+        assert tableau.r[1]
+
+
+class TestOperations:
+    CLIFFORD_OPS = [
+        ("h", (0,), (), ()),
+        ("s", (0,), (), ()),
+        ("sdg", (0,), (), ()),
+        ("x", (0,), (), ()),
+        ("y", (0,), (), ()),
+        ("z", (0,), (), ()),
+        ("sx", (0,), (), ()),
+        ("sxdg", (0,), (), ()),
+        ("rz", (0,), (), (math.pi / 2,)),
+        ("rx", (0,), (), (-math.pi / 2,)),
+        ("ry", (0,), (), (math.pi / 2,)),
+        ("p", (0,), (), (math.pi,)),
+        ("x", (1,), (0,), ()),
+        ("z", (1,), (0,), ()),
+        ("y", (1,), (0,), ()),
+        ("swap", (0, 1), (), ()),
+        ("iswap", (0, 1), (), ()),
+        ("rzz", (0, 1), (), (math.pi / 2,)),
+    ]
+
+    @pytest.mark.parametrize("name,targets,controls,params", CLIFFORD_OPS)
+    def test_matches_dense_conjugation(self, name, targets, controls, params):
+        """Tableau action == matrix conjugation of every Pauli generator."""
+        from repro.circuit.gate import Operation
+        from repro.circuit.unitary import operation_unitary
+
+        op = Operation(name, targets, controls, params)
+        n = 2
+        tableau = CliffordTableau(n)
+        tableau.apply_operation(op)
+        unitary = operation_unitary(op, n)
+        paulis = {
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "I": np.eye(2, dtype=complex),
+        }
+
+        def pauli_matrix(x_bits, z_bits, sign):
+            """CHP rows encode (1,1) as the exact Pauli Y (= i X Z)."""
+            out = np.eye(1, dtype=complex)
+            for q in reversed(range(n)):
+                key = (
+                    "Y" if x_bits[q] and z_bits[q]
+                    else "X" if x_bits[q] else "Z" if z_bits[q] else "I"
+                )
+                out = np.kron(out, paulis[key])
+            return (-1 if sign else 1) * out
+
+        for index, generator in enumerate(["X0", "X1", "Z0", "Z1"]):
+            base = np.eye(1, dtype=complex)
+            for q in reversed(range(n)):
+                if generator == f"X{q}":
+                    base = np.kron(base, paulis["X"])
+                elif generator == f"Z{q}":
+                    base = np.kron(base, paulis["Z"])
+                else:
+                    base = np.kron(base, paulis["I"])
+            conjugated = unitary @ base @ unitary.conj().T
+            image = pauli_matrix(
+                tableau.x[index], tableau.z[index], tableau.r[index]
+            )
+            np.testing.assert_allclose(conjugated, image, atol=1e-9)
+
+    def test_t_gate_rejected(self):
+        with pytest.raises(NonCliffordGateError):
+            CliffordTableau.from_circuit(QuantumCircuit(1).t(0))
+
+    def test_non_clifford_angle_rejected(self):
+        with pytest.raises(NonCliffordGateError):
+            CliffordTableau.from_circuit(QuantumCircuit(1).rz(0.3, 0))
+
+    def test_toffoli_rejected(self):
+        with pytest.raises(NonCliffordGateError):
+            CliffordTableau.from_circuit(QuantumCircuit(3).ccx(0, 1, 2))
+
+
+class TestCircuitEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_tableau_equality_matches_dense_equivalence(self, seed):
+        """Cross-validation: tableau equality == unitary equivalence."""
+        a = clifford_circuit(3, 15, seed)
+        b = clifford_circuit(3, 15, seed + 1)
+        tableau_equal = CliffordTableau.from_circuit(
+            a
+        ) == CliffordTableau.from_circuit(b)
+        dense_equal = unitaries_equivalent(
+            circuit_unitary(a), circuit_unitary(b)
+        )
+        assert tableau_equal == dense_equal
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_circuit_times_inverse_is_identity(self, seed):
+        circuit = clifford_circuit(4, 25, seed)
+        tableau = CliffordTableau.from_circuit(
+            circuit.compose(circuit.inverse())
+        )
+        assert tableau.is_identity()
+
+
+class TestStabilizerStates:
+    def test_ghz_stabilizers(self):
+        ghz = QuantumCircuit(3).h(0).cx(0, 1).cx(0, 2)
+        generators = CliffordTableau.from_circuit(
+            ghz
+        ).canonical_stabilizer_generators()
+        assert "+XXX" in generators
+        assert all(g[0] == "+" for g in generators)
+
+    def test_same_state_detects_equal_preparations(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(1).cx(1, 0)  # same Bell state
+        ta, tb = (
+            CliffordTableau.from_circuit(a),
+            CliffordTableau.from_circuit(b),
+        )
+        assert ta != tb  # different unitaries...
+        assert ta.same_state(tb)  # ...same output state
+
+    def test_different_states_distinguished(self):
+        a = QuantumCircuit(1)
+        b = QuantumCircuit(1).x(0)
+        assert not CliffordTableau.from_circuit(a).same_state(
+            CliffordTableau.from_circuit(b)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_state_matches_dense_statevector(self, seed):
+        from repro.circuit import statevector
+
+        a = clifford_circuit(3, 12, seed)
+        b = clifford_circuit(3, 12, seed + 7)
+        tableau_same = CliffordTableau.from_circuit(a).same_state(
+            CliffordTableau.from_circuit(b)
+        )
+        overlap = abs(np.vdot(statevector(a), statevector(b)))
+        assert tableau_same == (overlap > 1 - 1e-9)

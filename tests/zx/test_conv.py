@@ -1,0 +1,111 @@
+"""Tests for circuit -> ZX conversion against dense semantics."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary
+from repro.zx import circuit_to_zx, diagram_to_matrix, diagrams_proportional
+from tests.conftest import random_circuit
+
+SINGLE_GATES = [
+    ("h", ()), ("x", ()), ("y", ()), ("z", ()), ("s", ()), ("sdg", ()),
+    ("t", ()), ("tdg", ()), ("sx", ()), ("sxdg", ()), ("id", ()),
+    ("rx", (0.7,)), ("ry", (0.7,)), ("rz", (0.7,)), ("p", (0.7,)),
+    ("u2", (0.3, 1.1)), ("u3", (0.3, 1.1, 2.2)),
+]
+
+
+class TestSingleQubitGates:
+    @pytest.mark.parametrize("name,params", SINGLE_GATES, ids=lambda p: str(p))
+    def test_matches_unitary(self, name, params):
+        circuit = QuantumCircuit(1)
+        circuit.add(name, [0], params=params)
+        diagram = circuit_to_zx(circuit)
+        assert diagrams_proportional(
+            diagram_to_matrix(diagram), circuit_unitary(circuit)
+        )
+
+    def test_hadamard_alone_becomes_boundary_edge(self):
+        circuit = QuantumCircuit(1).h(0)
+        diagram = circuit_to_zx(circuit)
+        assert diagram.num_spiders == 0  # realized as an H boundary edge
+
+
+TWO_QUBIT_GATES = [
+    lambda c: c.cx(0, 1),
+    lambda c: c.cx(1, 0),
+    lambda c: c.cz(0, 1),
+    lambda c: c.swap(0, 1),
+    lambda c: c.iswap(0, 1),
+    lambda c: c.rzz(0.9, 0, 1),
+    lambda c: c.rxx(0.9, 0, 1),
+    lambda c: c.cp(0.7, 0, 1),
+    lambda c: c.crz(0.7, 0, 1),
+    lambda c: c.cry(0.7, 0, 1),
+    lambda c: c.ch(0, 1),
+    lambda c: c.cy(0, 1),
+]
+
+
+class TestMultiQubitGates:
+    @pytest.mark.parametrize("builder", TWO_QUBIT_GATES)
+    def test_two_qubit_matches_unitary(self, builder):
+        circuit = QuantumCircuit(2)
+        builder(circuit)
+        diagram = circuit_to_zx(circuit)
+        assert diagrams_proportional(
+            diagram_to_matrix(diagram), circuit_unitary(circuit)
+        )
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.ccx(0, 1, 2),
+            lambda c: c.ccz(0, 1, 2),
+            lambda c: c.cswap(0, 1, 2),
+            lambda c: c.mcp(0.8, [0, 1], 2),
+        ],
+    )
+    def test_three_qubit_matches_unitary(self, builder):
+        circuit = QuantumCircuit(3)
+        builder(circuit)
+        diagram = circuit_to_zx(circuit)
+        assert diagrams_proportional(
+            diagram_to_matrix(diagram), circuit_unitary(circuit)
+        )
+
+    def test_swap_is_pure_rewiring(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        diagram = circuit_to_zx(circuit)
+        assert diagram.num_spiders == 0
+        assert diagram.wire_permutation() == {0: 1, 1: 0}
+
+    def test_non_native_raises_without_decomposition(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            circuit_to_zx(circuit, decompose=False)
+
+
+class TestWholeCircuits:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_clifford_t(self, seed):
+        circuit = random_circuit(3, 12, seed=seed, gate_set="clifford_t")
+        diagram = circuit_to_zx(circuit)
+        assert diagrams_proportional(
+            diagram_to_matrix(diagram), circuit_unitary(circuit)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_rotations(self, seed):
+        circuit = random_circuit(3, 12, seed=seed, gate_set="rotations")
+        diagram = circuit_to_zx(circuit)
+        assert diagrams_proportional(
+            diagram_to_matrix(diagram), circuit_unitary(circuit)
+        )
+
+    def test_ghz_diagram_shape(self):
+        """Paper Fig. 6a: GHZ yields a small Z/X spider chain."""
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(0, 2)
+        diagram = circuit_to_zx(circuit)
+        assert diagram.num_spiders == 4  # 2 per CNOT
+        assert len(diagram.inputs) == 3
+        assert len(diagram.outputs) == 3

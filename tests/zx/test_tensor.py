@@ -1,0 +1,98 @@
+"""Tests for the tensor-network evaluator (`repro.zx.tensor`)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary
+from repro.zx import circuit_to_zx, diagram_to_matrix, diagrams_proportional
+from repro.zx.diagram import EdgeType, VertexType, ZXDiagram
+from repro.zx.tensor import diagram_to_tensor
+
+
+class TestSpiders:
+    def test_z_spider_phase(self):
+        d = ZXDiagram()
+        i = d.add_vertex(VertexType.BOUNDARY)
+        v = d.add_vertex(VertexType.Z, Fraction(1, 2))
+        o = d.add_vertex(VertexType.BOUNDARY)
+        d.connect(i, v)
+        d.connect(v, o)
+        d.inputs, d.outputs = [i], [o]
+        matrix = diagram_to_matrix(d)
+        np.testing.assert_allclose(matrix, np.diag([1, 1j]), atol=1e-12)
+
+    def test_x_spider_is_hadamard_conjugated(self):
+        d = ZXDiagram()
+        i = d.add_vertex(VertexType.BOUNDARY)
+        v = d.add_vertex(VertexType.X, Fraction(1))
+        o = d.add_vertex(VertexType.BOUNDARY)
+        d.connect(i, v)
+        d.connect(v, o)
+        d.inputs, d.outputs = [i], [o]
+        matrix = diagram_to_matrix(d)
+        np.testing.assert_allclose(
+            matrix, np.array([[0, 1], [1, 0]]), atol=1e-12
+        )
+
+    def test_hadamard_edge(self):
+        d = ZXDiagram()
+        i = d.add_vertex(VertexType.BOUNDARY)
+        o = d.add_vertex(VertexType.BOUNDARY)
+        d.connect(i, o, EdgeType.HADAMARD)
+        d.inputs, d.outputs = [i], [o]
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        np.testing.assert_allclose(diagram_to_matrix(d), h, atol=1e-12)
+
+    def test_state_spider(self):
+        """A Z spider with no inputs is a state (|0...0> + e^{ia}|1...1>)."""
+        d = ZXDiagram()
+        v = d.add_vertex(VertexType.Z, Fraction(1))
+        o = d.add_vertex(VertexType.BOUNDARY)
+        d.connect(v, o)
+        d.inputs, d.outputs = [], [o]
+        vector = diagram_to_matrix(d).reshape(-1)
+        np.testing.assert_allclose(vector, [1, -1], atol=1e-12)
+
+    def test_scalar_diagram(self):
+        d = ZXDiagram()
+        d.add_vertex(VertexType.Z, Fraction(0))  # degree-0 spider, scalar 2
+        tensor, legs = diagram_to_tensor(d)
+        assert legs == []
+        assert tensor == pytest.approx(2.0)
+
+
+class TestAgainstCircuits:
+    def test_cnot_tensor(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        assert diagrams_proportional(
+            diagram_to_matrix(circuit_to_zx(circuit)),
+            circuit_unitary(circuit),
+        )
+
+    def test_qubit_ordering_convention(self):
+        """X on qubit 0 must act on the least significant bit."""
+        circuit = QuantumCircuit(2).x(0)
+        matrix = diagram_to_matrix(circuit_to_zx(circuit))
+        expected = np.kron(np.eye(2), np.array([[0, 1], [1, 0]]))
+        assert diagrams_proportional(matrix, expected)
+
+
+class TestProportionality:
+    def test_proportional_up_to_scalar(self):
+        a = np.eye(4)
+        assert diagrams_proportional(a, 3.7j * a)
+
+    def test_not_proportional(self):
+        a = np.eye(2)
+        b = np.array([[1, 0], [0, -1]])
+        assert not diagrams_proportional(a, b)
+
+    def test_shape_mismatch(self):
+        assert not diagrams_proportional(np.eye(2), np.eye(4))
+
+    def test_zero_matrices(self):
+        assert diagrams_proportional(np.zeros((2, 2)), np.zeros((2, 2)))
+        assert not diagrams_proportional(np.zeros((2, 2)), np.eye(2))
