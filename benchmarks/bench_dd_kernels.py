@@ -1,0 +1,159 @@
+"""Seed-vs-fast-path baseline for the direct DD gate-application kernels.
+
+Times the DD-based checkers on Table-1-style verification instances with
+the legacy kernels (full-height gate DD + full-depth multiply, the seed
+behaviour) against the direct-application fast path, and records the
+comparison in ``BENCH_dd_kernels.json`` at the repository root.
+
+Alongside the timings, each case re-derives both circuits' DDs with both
+kernel paths *in one shared package* and asserts bit-identity — the fast
+path must return the very same canonical root node and weight, so any
+speedup is pure bookkeeping, never a numerical shortcut.
+
+Run:  PYTHONPATH=src python benchmarks/bench_dd_kernels.py
+
+(The module intentionally defines no ``test_*``/pytest entry points; the
+tier-1 smoke guard lives in ``tests/perf/test_bench_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+from repro.bench import algorithms
+from repro.compile import compile_circuit, manhattan_architecture
+from repro.compile.decompose import decompose_to_basis
+from repro.compile.optimize import optimize_circuit
+from repro.dd import DDPackage
+from repro.dd.gates import circuit_dd
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.ec.permutations import to_logical_form
+
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dd_kernels.json"
+
+
+def build_cases():
+    """Table-1-style (name, circuit1, circuit2, strategy) instances."""
+    manhattan = manhattan_architecture()
+    ghz = algorithms.ghz_state(16)
+    graphstate = algorithms.graph_state(12, seed=0)
+    qft = algorithms.qft(6)
+    ghz_compiled = compile_circuit(ghz, manhattan)
+    graphstate_compiled = compile_circuit(graphstate, manhattan)
+    qft_optimized = optimize_circuit(decompose_to_basis(qft), level=2)
+    return [
+        ("ghz_16_compiled/alternating", ghz, ghz_compiled, "alternating"),
+        ("ghz_16_compiled/simulation", ghz, ghz_compiled, "simulation"),
+        (
+            "graphstate_12_compiled/alternating",
+            graphstate, graphstate_compiled, "alternating",
+        ),
+        (
+            "graphstate_12_compiled/simulation",
+            graphstate, graphstate_compiled, "simulation",
+        ),
+        ("qft_6_optimized/alternating", qft, qft_optimized, "alternating"),
+    ]
+
+
+def timed_check(circuit1, circuit2, strategy, direct):
+    """Best-of-``REPEATS`` wall time plus the last verdict."""
+    config = Configuration(
+        strategy=strategy, seed=0, direct_application=direct,
+        num_simulations=8,
+    )
+    best = math.inf
+    result = None
+    for _ in range(REPEATS):
+        manager = EquivalenceCheckingManager(circuit1, circuit2, config)
+        start = time.perf_counter()
+        result = manager.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def roots_identical(circuit1, circuit2):
+    """Direct and legacy construction agree node-for-node in one package."""
+    num_qubits = max(circuit1.num_qubits, circuit2.num_qubits)
+    pkg = DDPackage()
+    for circuit in (circuit1, circuit2):
+        logical, _ = to_logical_form(circuit, num_qubits)
+        direct = circuit_dd(pkg, logical, direct=True)
+        legacy = circuit_dd(pkg, logical, direct=False)
+        if direct.node is not legacy.node or direct.weight != legacy.weight:
+            return False
+    return True
+
+
+def main() -> int:
+    cases = []
+    for name, circuit1, circuit2, strategy in build_cases():
+        seed_time, seed_result = timed_check(
+            circuit1, circuit2, strategy, direct=False
+        )
+        new_time, new_result = timed_check(
+            circuit1, circuit2, strategy, direct=True
+        )
+        identical = roots_identical(circuit1, circuit2)
+        speedup = seed_time / new_time if new_time else math.inf
+        cases.append({
+            "case": name,
+            "strategy": strategy,
+            "num_qubits": max(circuit1.num_qubits, circuit2.num_qubits),
+            "num_gates": [len(circuit1), len(circuit2)],
+            "seed_seconds": round(seed_time, 6),
+            "new_seconds": round(new_time, 6),
+            "speedup": round(speedup, 3),
+            "verdict_seed": seed_result.equivalence.value,
+            "verdict_new": new_result.equivalence.value,
+            "verdicts_agree":
+                seed_result.equivalence == new_result.equivalence,
+            "roots_identical": identical,
+        })
+        print(
+            f"{name:40s} seed {seed_time:7.3f}s  new {new_time:7.3f}s  "
+            f"{speedup:5.2f}x  roots_identical={identical}"
+        )
+        assert identical, f"{name}: fast path diverged from legacy"
+        assert cases[-1]["verdicts_agree"], f"{name}: verdicts diverged"
+
+    speedups = [case["speedup"] for case in cases]
+    report = {
+        "benchmark": "dd_kernels",
+        "description": (
+            "Direct gate application + bounded compute tables vs the seed "
+            "layered_kron/multiply path, DD checkers on Table-1-style pairs"
+        ),
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "cases": cases,
+        "summary": {
+            "min_speedup": round(min(speedups), 3),
+            "max_speedup": round(max(speedups), 3),
+            "geomean_speedup": round(
+                math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+                3,
+            ),
+            "all_roots_identical":
+                all(case["roots_identical"] for case in cases),
+            "all_verdicts_agree":
+                all(case["verdicts_agree"] for case in cases),
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(
+        "geomean speedup "
+        f"{report['summary']['geomean_speedup']}x, "
+        f"min {report['summary']['min_speedup']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

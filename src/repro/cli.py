@@ -68,12 +68,27 @@ def _parse_device(spec: str):
     )
 
 
+def _print_statistics(statistics: dict, indent: int = 1) -> None:
+    """Print a (possibly nested) statistics dict, one ``key: value`` per line."""
+    pad = "  " * indent
+    for key, value in sorted(statistics.items()):
+        if isinstance(value, dict):
+            print(f"{pad}{key}:")
+            _print_statistics(value, indent + 1)
+        else:
+            print(f"{pad}{key}: {value}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.ec import Configuration, EquivalenceCheckingManager
     from repro.ec.results import Equivalence
 
     circuit1 = _load_circuit(args.circuit1, args.layout1)
     circuit2 = _load_circuit(args.circuit2, args.layout2)
+    config_kwargs = {}
+    if args.compute_table_size is not None:
+        # 0 selects the unbounded dict-backed tables.
+        config_kwargs["compute_table_size"] = args.compute_table_size or None
     configuration = Configuration(
         strategy=args.strategy,
         oracle=args.oracle,
@@ -81,14 +96,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         stimuli_type=args.stimuli,
         timeout=args.timeout,
         seed=args.seed,
+        direct_application=not args.legacy_kernels,
+        **config_kwargs,
     )
     result = EquivalenceCheckingManager(
         circuit1, circuit2, configuration
     ).run()
     print(f"{result.equivalence.value}  [{result.strategy}]  {result.time:.3f}s")
     if args.verbose:
-        for key, value in sorted(result.statistics.items()):
-            print(f"  {key}: {value}")
+        _print_statistics(result.statistics)
     if result.considered_equivalent:
         return 0
     if result.equivalence is Equivalence.NOT_EQUIVALENT:
@@ -182,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--layout1", default=None)
     verify.add_argument("--layout2", default=None)
+    verify.add_argument(
+        "--legacy-kernels", action="store_true",
+        help="disable the direct gate-application fast path (A/B baseline)",
+    )
+    verify.add_argument(
+        "--compute-table-size", type=int, default=None,
+        metavar="SLOTS",
+        help="slots per DD compute table (default: package default; "
+        "0 = unbounded dict tables)",
+    )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=_cmd_verify)
 

@@ -16,6 +16,7 @@ The package operates on the shared circuit IR of :mod:`repro.circuit`.
 """
 
 from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
+from repro.dd.compute_table import ComputeTable, DEFAULT_COMPUTE_TABLE_SIZE
 from repro.dd.node import MEdge, MNode, VEdge, VNode, TERMINAL
 from repro.dd.package import DDPackage
 from repro.dd.export import (
@@ -27,6 +28,8 @@ from repro.dd.export import (
 
 __all__ = [
     "ComplexTable",
+    "ComputeTable",
+    "DEFAULT_COMPUTE_TABLE_SIZE",
     "DEFAULT_TOLERANCE",
     "DDPackage",
     "MEdge",

@@ -46,6 +46,10 @@ class ComplexTable:
         # boundary are found by the 3x3 neighborhood probe.
         self._bucket = tolerance
         self._table: Dict[Tuple[int, int], complex] = {}
+        # Every canonical value gets a small sequential integer id so that
+        # compute-table keys can be pure integer tuples (cheap to hash and
+        # compare) instead of hashing raw complex ratios.
+        self._ids: Dict[complex, int] = {}
         self.hits = 0
         self.misses = 0
         # Seed the exact values every diagram relies on so that anything
@@ -88,11 +92,29 @@ class ComplexTable:
                 return stored
         self.misses += 1
         self._table[key] = value
+        self._ids[value] = len(self._ids)
         return value
+
+    def id_of(self, canonical: complex) -> int:
+        """The integer id of an already-interned canonical value.
+
+        Callers must pass a value previously returned by :meth:`lookup`;
+        use :meth:`lookup_id` to intern and resolve in one step.
+        """
+        return self._ids[canonical]
+
+    def lookup_id(self, value: complex) -> int:
+        """Intern ``value`` and return its canonical integer id."""
+        return self._ids[self.lookup(value)]
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the final table size."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}
 
     def clear(self) -> None:
         """Drop all stored values (the exact seeds are re-inserted)."""
         self._table.clear()
+        self._ids.clear()
         self.hits = 0
         self.misses = 0
         for seed in (0j, 1 + 0j, -1 + 0j, 1j, -1j):

@@ -11,11 +11,22 @@ are exactly what :meth:`repro.dd.package.DDPackage.layered_kron` builds, so
 every standard-gate DD is one ``layered_kron`` plus one DD addition — and a
 two-target base gate needs four correction terms (one per 2x2 block of
 ``G - I``).
+
+Gate *application* has two code paths:
+
+* the **direct** fast path (default): build a *compact* gate diagram only
+  up to the highest qubit the operation touches and hand it to the
+  ``apply_gate_*`` kernels of the package, which pass untouched upper
+  levels through structurally;
+* the **legacy** path (``direct=False``): build the full ``n``-qubit gate
+  diagram and perform a full-depth DD multiplication — the seed behaviour,
+  kept selectable through :class:`repro.ec.configuration.Configuration`
+  for A/B ablation benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +58,18 @@ def operation_dd(pkg: DDPackage, op: Operation, num_qubits: int) -> MEdge:
     return result
 
 
+def compact_operation_dd(pkg: DDPackage, op: Operation) -> MEdge:
+    """The gate DD built only up to the highest qubit the operation touches.
+
+    The returned diagram's root level is ``max(op.qubits)``; the
+    ``apply_gate_*`` kernels treat every level above it as identity.
+    """
+    return operation_dd(pkg, op, max(op.qubits) + 1)
+
+
 def _build_operation_dd(pkg: DDPackage, op: Operation, num_qubits: int) -> MEdge:
+    if op.name == "swap" and not op.controls:
+        return swap_dd(pkg, op.targets[0], op.targets[1], num_qubits)
     base = op.matrix()
     if len(op.targets) == 1:
         delta = base - np.eye(2)
@@ -81,28 +103,83 @@ def _build_operation_dd(pkg: DDPackage, op: Operation, num_qubits: int) -> MEdge
     raise ValueError(f"unsupported number of targets: {len(op.targets)}")
 
 
+def swap_dd(pkg: DDPackage, qubit_a: int, qubit_b: int, num_qubits: int) -> MEdge:
+    """Direct construction of the SWAP-gate matrix DD.
+
+    ``SWAP = Σ_{i,j} |j><i| at the high qubit ⊗ |i><j| at the low qubit``
+    (identity elsewhere), which is a four-chain diagram that can be built
+    bottom-up in ``O(num_qubits)`` node creations — no ``layered_kron``
+    tensor terms and no DD additions, unlike the generic two-target path.
+    """
+    low, high = sorted((qubit_a, qubit_b))
+    if low == high:
+        raise ValueError("swap needs two distinct qubits")
+    if num_qubits <= high:
+        raise ValueError("swap qubits exceed the register size")
+    zero = pkg.zero_matrix_edge()
+    below = pkg.identity(low)
+    chains = {}
+    for i in (0, 1):
+        for j in (0, 1):
+            # Low-qubit block mapping j -> i sits at row-major slot (i, j).
+            edges = [zero, zero, zero, zero]
+            edges[2 * i + j] = below
+            chain = pkg.make_matrix_node(low, tuple(edges))
+            for level in range(low + 1, high):
+                chain = pkg.make_matrix_node(level, (chain, zero, zero, chain))
+            chains[(i, j)] = chain
+    # High-qubit block mapping i -> j picks up the (i, j) low chain.
+    edges = [zero, zero, zero, zero]
+    for (i, j), chain in chains.items():
+        edges[2 * j + i] = chain
+    edge = pkg.make_matrix_node(high, tuple(edges))
+    for level in range(high + 1, num_qubits):
+        edge = pkg.make_matrix_node(level, (edge, zero, zero, edge))
+    return edge
+
+
 def apply_operation_left(
-    pkg: DDPackage, accumulated: MEdge, op: Operation, num_qubits: int
+    pkg: DDPackage,
+    accumulated: MEdge,
+    op: Operation,
+    num_qubits: int,
+    direct: bool = True,
 ) -> MEdge:
     """Return ``U_op @ accumulated`` (gate applied after the product)."""
+    if direct:
+        return pkg.apply_gate_left(compact_operation_dd(pkg, op), accumulated)
     return pkg.multiply(operation_dd(pkg, op, num_qubits), accumulated)
 
 
 def apply_operation_right(
-    pkg: DDPackage, accumulated: MEdge, op: Operation, num_qubits: int
+    pkg: DDPackage,
+    accumulated: MEdge,
+    op: Operation,
+    num_qubits: int,
+    direct: bool = True,
 ) -> MEdge:
     """Return ``accumulated @ U_op`` (gate applied before the product)."""
+    if direct:
+        return pkg.apply_gate_right(accumulated, compact_operation_dd(pkg, op))
     return pkg.multiply(accumulated, operation_dd(pkg, op, num_qubits))
 
 
 def apply_operation_to_vector(
-    pkg: DDPackage, state: VEdge, op: Operation, num_qubits: int
+    pkg: DDPackage,
+    state: VEdge,
+    op: Operation,
+    num_qubits: int,
+    direct: bool = True,
 ) -> VEdge:
     """Return ``U_op |state>`` — one DD simulation step."""
+    if direct:
+        return pkg.apply_gate_vector(compact_operation_dd(pkg, op), state)
     return pkg.multiply_matrix_vector(operation_dd(pkg, op, num_qubits), state)
 
 
-def circuit_dd(pkg: DDPackage, circuit: QuantumCircuit) -> MEdge:
+def circuit_dd(
+    pkg: DDPackage, circuit: QuantumCircuit, direct: bool = True
+) -> MEdge:
     """Build the full system-matrix DD ``U = U_{m-1} ... U_0`` of a circuit.
 
     This is the naive *construction* strategy of Section 4.1 — potentially
@@ -111,19 +188,24 @@ def circuit_dd(pkg: DDPackage, circuit: QuantumCircuit) -> MEdge:
     """
     result = pkg.identity(circuit.num_qubits)
     for op in circuit:
-        result = apply_operation_left(pkg, result, op, circuit.num_qubits)
+        result = apply_operation_left(
+            pkg, result, op, circuit.num_qubits, direct=direct
+        )
     return result
 
 
 def simulate_circuit_dd(
     pkg: DDPackage,
     circuit: QuantumCircuit,
-    initial: VEdge = None,
+    initial: Optional[VEdge] = None,
+    direct: bool = True,
 ) -> VEdge:
     """Run the circuit on a vector DD (default ``|0...0>``)."""
     state = initial if initial is not None else pkg.basis_state(circuit.num_qubits)
     for op in circuit:
-        state = apply_operation_to_vector(pkg, state, op, circuit.num_qubits)
+        state = apply_operation_to_vector(
+            pkg, state, op, circuit.num_qubits, direct=direct
+        )
     return state
 
 
@@ -133,18 +215,20 @@ def permutation_dd(
     """Matrix DD moving the state of wire ``k`` to wire ``permutation[k]``.
 
     Realized as a product of SWAP-gate DDs obtained from the cycle
-    decomposition of the permutation.
+    decomposition of the permutation.  Each SWAP is constructed directly
+    (see :func:`swap_dd`) and merged with the fast-path application
+    kernel, so untouched upper wires are never traversed.
     """
     result = pkg.identity(num_qubits)
     for a, b in permutation_to_transpositions(permutation, num_qubits):
-        swap = operation_dd(pkg, Operation("swap", (a, b)), num_qubits)
-        result = pkg.multiply(swap, result)
+        swap = swap_dd(pkg, a, b, max(a, b) + 1)
+        result = pkg.apply_gate_left(swap, result)
     return result
 
 
 def permutation_to_transpositions(
     permutation: Dict[int, int], num_qubits: int
-) -> Iterable[tuple]:
+) -> Iterable[Tuple[int, int]]:
     """Decompose a wire permutation into a list of transpositions."""
     full = {q: q for q in range(num_qubits)}
     full.update(permutation)

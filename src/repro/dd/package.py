@@ -10,6 +10,21 @@ table).
 Levels are never skipped: an ``n``-qubit diagram always contains a node on
 every path for every level, which keeps the algebra simple and matches the
 explicit-level representation of the QMDD literature.
+
+Two implementation choices matter for speed (see
+``docs/architecture.md``, "Performance architecture"):
+
+* Operation results are memoized in fixed-size, slot-indexed
+  :class:`~repro.dd.compute_table.ComputeTable` instances (hash → one
+  slot, overwrite on collision) instead of unbounded dicts that were
+  cleared wholesale — long alternating runs never lose their entire
+  memoization mid-recursion.  Cache keys are tuples of integers: node
+  ``id()``s plus interned complex-weight ids from the complex table.
+* The ``apply_gate_*`` kernels multiply a *compact* gate diagram (built
+  only up to the highest qubit the gate touches) into a full-height
+  diagram by passing identity levels through structurally, so per-gate
+  cost is proportional to the diagram *below* the gate's top qubit rather
+  than the full register height.
 """
 
 from __future__ import annotations
@@ -17,26 +32,47 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
+from repro.dd.compute_table import ComputeTable, DEFAULT_COMPUTE_TABLE_SIZE
 from repro.dd.node import MEdge, MNode, TERMINAL, VEdge, VNode
-
-#: Compute tables are cleared once they exceed this many entries.
-_COMPUTE_TABLE_LIMIT = 1_000_000
 
 
 class DDPackage:
-    """Factory and algebra for canonical vector / matrix decision diagrams."""
+    """Factory and algebra for canonical vector / matrix decision diagrams.
 
-    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    Args:
+        tolerance: Merging tolerance of the complex table.
+        compute_table_size: Slots per compute table (rounded up to a power
+            of two), or ``None`` for unbounded dict-backed tables (the
+            seed behaviour, kept for ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        compute_table_size: Optional[int] = DEFAULT_COMPUTE_TABLE_SIZE,
+    ) -> None:
         self.complex_table = ComplexTable(tolerance)
         self._vector_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], VNode] = {}
         self._matrix_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], MNode] = {}
-        self._add_cache: Dict[Tuple[int, int, complex], MEdge] = {}
-        self._add_vec_cache: Dict[Tuple[int, int, complex], VEdge] = {}
-        self._mul_cache: Dict[Tuple[int, int], MEdge] = {}
-        self._mul_vec_cache: Dict[Tuple[int, int], VEdge] = {}
-        self._conj_cache: Dict[int, MEdge] = {}
-        self._trace_cache: Dict[int, complex] = {}
-        self._inner_cache: Dict[Tuple[int, int], complex] = {}
+        self.matrix_nodes_created = 0
+        self.vector_nodes_created = 0
+        self._tables: Dict[str, ComputeTable] = {}
+
+        def table(name: str) -> ComputeTable:
+            t = ComputeTable(name, compute_table_size)
+            self._tables[name] = t
+            return t
+
+        self._add_cache = table("add")
+        self._add_vec_cache = table("add_vec")
+        self._mul_cache = table("mul")
+        self._mul_vec_cache = table("mul_vec")
+        self._conj_cache = table("conj")
+        self._trace_cache = table("trace")
+        self._inner_cache = table("inner")
+        self._apply_left_cache = table("apply_left")
+        self._apply_right_cache = table("apply_right")
+        self._apply_vec_cache = table("apply_vec")
         self._identity_cache: Dict[int, MEdge] = {}
 
     # ------------------------------------------------------------------
@@ -48,13 +84,8 @@ class DDPackage:
 
     def clear_compute_tables(self) -> None:
         """Drop all memoized operation results (unique tables survive)."""
-        self._add_cache.clear()
-        self._add_vec_cache.clear()
-        self._mul_cache.clear()
-        self._mul_vec_cache.clear()
-        self._conj_cache.clear()
-        self._trace_cache.clear()
-        self._inner_cache.clear()
+        for cache in self._tables.values():
+            cache.clear()
 
     def num_unique_matrix_nodes(self) -> int:
         """Total matrix nodes ever created by this package."""
@@ -64,9 +95,9 @@ class DDPackage:
         """Total vector nodes ever created by this package."""
         return len(self._vector_unique)
 
-    def _guard_cache(self, cache: Dict) -> None:
-        if len(cache) > _COMPUTE_TABLE_LIMIT:
-            cache.clear()
+    def compute_table_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/eviction counters for every compute table."""
+        return {name: t.stats() for name, t in sorted(self._tables.items())}
 
     # ------------------------------------------------------------------
     # construction with normalization
@@ -116,6 +147,7 @@ class DDPackage:
         if node is None:
             node = VNode(level, children)
             self._vector_unique[key] = node
+            self.vector_nodes_created += 1
         return VEdge(node, factor)
 
     def make_matrix_node(
@@ -134,6 +166,7 @@ class DDPackage:
         if node is None:
             node = MNode(level, children)
             self._matrix_unique[key] = node
+            self.matrix_nodes_created += 1
         return MEdge(node, factor)
 
     # ------------------------------------------------------------------
@@ -224,7 +257,7 @@ class DDPackage:
         if id(a.node) > id(b.node):
             a, b = b, a
         ratio = self.lookup(b.weight / a.weight)
-        key = (id(a.node), id(b.node), ratio)
+        key = (id(a.node), id(b.node), self.complex_table.id_of(ratio))
         cached = self._add_cache.get(key)
         if cached is not None:
             return MEdge(cached.node, self.lookup(cached.weight * a.weight))
@@ -239,8 +272,7 @@ class DDPackage:
             for ea, eb in zip(node_a.edges, node_b.edges)
         )
         result = self.make_matrix_node(node_a.level, children)
-        self._guard_cache(self._add_cache)
-        self._add_cache[key] = result
+        self._add_cache.put(key, result)
         return MEdge(result.node, self.lookup(result.weight * a.weight))
 
     def add_vectors(self, a: VEdge, b: VEdge) -> VEdge:
@@ -254,7 +286,7 @@ class DDPackage:
         if id(a.node) > id(b.node):
             a, b = b, a
         ratio = self.lookup(b.weight / a.weight)
-        key = (id(a.node), id(b.node), ratio)
+        key = (id(a.node), id(b.node), self.complex_table.id_of(ratio))
         cached = self._add_vec_cache.get(key)
         if cached is not None:
             return VEdge(cached.node, self.lookup(cached.weight * a.weight))
@@ -269,8 +301,7 @@ class DDPackage:
             for ea, eb in zip(node_a.edges, node_b.edges)
         )
         result = self.make_vector_node(node_a.level, children)
-        self._guard_cache(self._add_vec_cache)
-        self._add_vec_cache[key] = result
+        self._add_vec_cache.put(key, result)
         return VEdge(result.node, self.lookup(result.weight * a.weight))
 
     # ------------------------------------------------------------------
@@ -304,8 +335,7 @@ class DDPackage:
                 term1 = self._scaled_multiply(a[2 * i + 1], b[2 + j])
                 children.append(self.add(term0, term1))
         result = self.make_matrix_node(node_a.level, tuple(children))
-        self._guard_cache(self._mul_cache)
-        self._mul_cache[key] = result
+        self._mul_cache.put(key, result)
         return result
 
     def _scaled_multiply(self, a: MEdge, b: MEdge) -> MEdge:
@@ -343,8 +373,7 @@ class DDPackage:
             term1 = self._scaled_multiply_mv(a[2 * i + 1], v[1])
             children.append(self.add_vectors(term0, term1))
         result = self.make_vector_node(node_a.level, tuple(children))
-        self._guard_cache(self._mul_vec_cache)
-        self._mul_vec_cache[key] = result
+        self._mul_vec_cache.put(key, result)
         return result
 
     def _scaled_multiply_mv(self, a: MEdge, v: VEdge) -> VEdge:
@@ -354,6 +383,122 @@ class DDPackage:
         if sub.is_zero:
             return sub
         return VEdge(sub.node, self.lookup(sub.weight * a.weight * v.weight))
+
+    # ------------------------------------------------------------------
+    # direct gate application (fast-path kernels)
+    # ------------------------------------------------------------------
+    #
+    # A gate touching qubits up to level k-1 acts as ``I ⊗ G`` on the full
+    # register: above level k-1 the operator is block-diagonal with
+    # identical blocks, so ``(I ⊗ G) · M`` (and ``M · (I ⊗ G)``) descends
+    # the target diagram structurally — each child is the recursive
+    # application, no additions and no n-level gate diagram required.
+    # Only at and below the gate's top level does an actual DD
+    # multiplication happen, against the *compact* gate diagram ``G``.
+
+    def apply_gate_left(self, gate: MEdge, target: MEdge) -> MEdge:
+        """``(I ⊗ gate) @ target`` for a compact gate diagram.
+
+        ``gate`` is a matrix DD whose root level is the highest qubit the
+        gate touches; ``target``'s root level must be at least that high.
+        Levels of ``target`` above the gate's root pass through untouched.
+        """
+        if gate.is_zero or target.is_zero:
+            return self.zero_matrix_edge()
+        weight = self.lookup(gate.weight * target.weight)
+        result = self._apply_left_nodes(gate.node, target.node)
+        if result.is_zero:
+            return result
+        return MEdge(result.node, self.lookup(result.weight * weight))
+
+    def _apply_left_nodes(self, gate_node, target_node) -> MEdge:
+        if target_node.level <= gate_node.level:
+            return self._multiply_nodes(gate_node, target_node)
+        key = (id(gate_node), id(target_node))
+        cached = self._apply_left_cache.get(key)
+        if cached is not None:
+            return cached
+        children = []
+        for edge in target_node.edges:
+            if edge.is_zero:
+                children.append(self.zero_matrix_edge())
+                continue
+            sub = self._apply_left_nodes(gate_node, edge.node)
+            if sub.is_zero:
+                children.append(self.zero_matrix_edge())
+            else:
+                children.append(
+                    MEdge(sub.node, self.lookup(sub.weight * edge.weight))
+                )
+        result = self.make_matrix_node(target_node.level, tuple(children))
+        self._apply_left_cache.put(key, result)
+        return result
+
+    def apply_gate_right(self, target: MEdge, gate: MEdge) -> MEdge:
+        """``target @ (I ⊗ gate)`` for a compact gate diagram."""
+        if gate.is_zero or target.is_zero:
+            return self.zero_matrix_edge()
+        weight = self.lookup(target.weight * gate.weight)
+        result = self._apply_right_nodes(target.node, gate.node)
+        if result.is_zero:
+            return result
+        return MEdge(result.node, self.lookup(result.weight * weight))
+
+    def _apply_right_nodes(self, target_node, gate_node) -> MEdge:
+        if target_node.level <= gate_node.level:
+            return self._multiply_nodes(target_node, gate_node)
+        key = (id(target_node), id(gate_node))
+        cached = self._apply_right_cache.get(key)
+        if cached is not None:
+            return cached
+        children = []
+        for edge in target_node.edges:
+            if edge.is_zero:
+                children.append(self.zero_matrix_edge())
+                continue
+            sub = self._apply_right_nodes(edge.node, gate_node)
+            if sub.is_zero:
+                children.append(self.zero_matrix_edge())
+            else:
+                children.append(
+                    MEdge(sub.node, self.lookup(sub.weight * edge.weight))
+                )
+        result = self.make_matrix_node(target_node.level, tuple(children))
+        self._apply_right_cache.put(key, result)
+        return result
+
+    def apply_gate_vector(self, gate: MEdge, state: VEdge) -> VEdge:
+        """``(I ⊗ gate) |state>`` for a compact gate diagram."""
+        if gate.is_zero or state.is_zero:
+            return self.zero_vector_edge()
+        weight = self.lookup(gate.weight * state.weight)
+        result = self._apply_vec_nodes(gate.node, state.node)
+        if result.is_zero:
+            return result
+        return VEdge(result.node, self.lookup(result.weight * weight))
+
+    def _apply_vec_nodes(self, gate_node, state_node) -> VEdge:
+        if state_node.level <= gate_node.level:
+            return self._multiply_mv_nodes(gate_node, state_node)
+        key = (id(gate_node), id(state_node))
+        cached = self._apply_vec_cache.get(key)
+        if cached is not None:
+            return cached
+        children = []
+        for edge in state_node.edges:
+            if edge.is_zero:
+                children.append(self.zero_vector_edge())
+                continue
+            sub = self._apply_vec_nodes(gate_node, edge.node)
+            if sub.is_zero:
+                children.append(self.zero_vector_edge())
+            else:
+                children.append(
+                    VEdge(sub.node, self.lookup(sub.weight * edge.weight))
+                )
+        result = self.make_vector_node(state_node.level, tuple(children))
+        self._apply_vec_cache.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # conjugation, traces, inner products
@@ -388,8 +533,7 @@ class DDPackage:
                     )
                 )
         result = self.make_matrix_node(node.level, tuple(children))
-        self._guard_cache(self._conj_cache)
-        self._conj_cache[id(node)] = result
+        self._conj_cache.put(id(node), result)
         return result
 
     def trace(self, a: MEdge) -> complex:
@@ -410,8 +554,7 @@ class DDPackage:
             value += e[0].weight * self._trace_node(e[0].node)
         if not e[3].is_zero:
             value += e[3].weight * self._trace_node(e[3].node)
-        self._guard_cache(self._trace_cache)
-        self._trace_cache[id(node)] = value
+        self._trace_cache.put(id(node), value)
         return value
 
     def inner_product(self, a: VEdge, b: VEdge) -> complex:
@@ -437,8 +580,7 @@ class DDPackage:
                     * eb.weight
                     * self._inner_nodes(ea.node, eb.node)
                 )
-        self._guard_cache(self._inner_cache)
-        self._inner_cache[key] = value
+        self._inner_cache.put(key, value)
         return value
 
     def fidelity(self, a: VEdge, b: VEdge) -> float:

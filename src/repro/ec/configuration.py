@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.dd.complex_table import DEFAULT_TOLERANCE
+from repro.dd.compute_table import DEFAULT_COMPUTE_TABLE_SIZE
 
 
 @dataclass
@@ -45,6 +46,13 @@ class Configuration:
         trace_sizes: Record the intermediate DD size after every gate
             application (drives the Fig. 4-style experiments).
         seed: Seed for the simulation strategy's random stimuli.
+        direct_application: Use the fast-path ``apply_gate_*`` kernels
+            that skip untouched upper qubit levels (default).  ``False``
+            selects the legacy full-height gate-DD construction plus
+            full-depth multiplication — the seed behaviour, kept for A/B
+            ablation benchmarks.
+        compute_table_size: Slots per DD compute table (rounded up to a
+            power of two), or ``None`` for unbounded dict-backed tables.
     """
 
     strategy: str = "combined"
@@ -58,6 +66,8 @@ class Configuration:
     elide_permutations: bool = True
     trace_sizes: bool = False
     seed: Optional[int] = None
+    direct_application: bool = True
+    compute_table_size: Optional[int] = DEFAULT_COMPUTE_TABLE_SIZE
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -81,3 +91,5 @@ class Configuration:
             raise ValueError("tolerance must be positive")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive or None")
+        if self.compute_table_size is not None and self.compute_table_size < 1:
+            raise ValueError("compute_table_size must be positive or None")

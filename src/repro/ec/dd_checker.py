@@ -15,6 +15,13 @@ Two strategies live here:
 Both consume circuits in *logical form* (see
 :mod:`repro.ec.permutations`), which realizes the permutation tracking and
 SWAP reconstruction the paper describes.
+
+Gates are merged into the accumulated product through the fast-path
+``apply_gate_*`` kernels by default (only the diagram below a gate's top
+qubit is traversed); ``Configuration.direct_application=False`` selects
+the legacy full-height construction for ablations.  Every result carries
+a ``perf`` statistics block (phase wall times, compute-table and
+complex-table counters) produced by :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -24,7 +31,10 @@ from typing import List, Optional
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.dd.export import matrix_dd_size
-from repro.dd.gates import circuit_dd, operation_dd
+from repro.dd.gates import (
+    apply_operation_left,
+    apply_operation_right,
+)
 from repro.dd.package import DDPackage
 from repro.ec.configuration import Configuration
 from repro.ec.permutations import to_logical_form
@@ -33,6 +43,7 @@ from repro.ec.results import (
     EquivalenceCheckingResult,
     EquivalenceCheckingTimeout,
 )
+from repro.perf import PerfCounters, package_statistics
 
 
 def _check_deadline(deadline: Optional[float]) -> None:
@@ -80,42 +91,52 @@ class ConstructionChecker:
             self.configuration.elide_permutations,
             self.configuration.reconstruct_swaps,
         )
-        self.package = DDPackage(self.configuration.tolerance)
+        self.package = DDPackage(
+            self.configuration.tolerance,
+            compute_table_size=self.configuration.compute_table_size,
+        )
 
     def run(self, deadline: Optional[float] = None) -> EquivalenceCheckingResult:
         start = time.monotonic()
         pkg = self.package
+        direct = self.configuration.direct_application
+        perf = PerfCounters()
         edges = []
         max_size = 0
-        for circuit in (self.logical1, self.logical2):
-            accumulated = pkg.identity(self.num_qubits)
-            for op in circuit:
-                _check_deadline(deadline)
-                accumulated = pkg.multiply(
-                    operation_dd(pkg, op, self.num_qubits), accumulated
-                )
-                if self.configuration.trace_sizes:
-                    max_size = max(max_size, matrix_dd_size(accumulated))
-            edges.append(accumulated)
+        with perf.phase("construction"):
+            for circuit in (self.logical1, self.logical2):
+                accumulated = pkg.identity(self.num_qubits)
+                for op in circuit:
+                    _check_deadline(deadline)
+                    accumulated = apply_operation_left(
+                        pkg, accumulated, op, self.num_qubits, direct=direct
+                    )
+                    perf.count("gate_applications")
+                    if self.configuration.trace_sizes:
+                        max_size = max(max_size, matrix_dd_size(accumulated))
+                edges.append(accumulated)
         first, second = edges
-        if first.node is second.node:
-            if abs(first.weight - second.weight) <= 16 * pkg.tolerance:
-                verdict = Equivalence.EQUIVALENT
+        with perf.phase("verdict"):
+            if first.node is second.node:
+                if abs(first.weight - second.weight) <= 16 * pkg.tolerance:
+                    verdict = Equivalence.EQUIVALENT
+                else:
+                    verdict = Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE
             else:
-                verdict = Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE
-        else:
-            # Structural mismatch may still be numerical noise; decide via
-            # the Hilbert-Schmidt inner product of U† U'.
-            product = pkg.multiply(pkg.conjugate_transpose(first), second)
-            fidelity = pkg.hilbert_schmidt_fidelity(product, self.num_qubits)
-            if abs(fidelity - 1.0) <= self.configuration.fidelity_threshold:
-                verdict = Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE
-            else:
-                verdict = Equivalence.NOT_EQUIVALENT
+                # Structural mismatch may still be numerical noise; decide via
+                # the Hilbert-Schmidt inner product of U† U'.
+                product = pkg.multiply(pkg.conjugate_transpose(first), second)
+                fidelity = pkg.hilbert_schmidt_fidelity(product, self.num_qubits)
+                if abs(fidelity - 1.0) <= self.configuration.fidelity_threshold:
+                    verdict = Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE
+                else:
+                    verdict = Equivalence.NOT_EQUIVALENT
         statistics = {
             "dd_size_1": matrix_dd_size(first),
             "dd_size_2": matrix_dd_size(second),
             "unique_nodes": pkg.num_unique_matrix_nodes(),
+            "complex_table": pkg.complex_table.stats(),
+            "perf": {**perf.as_dict(), **package_statistics(pkg)},
         }
         if self.configuration.trace_sizes:
             statistics["max_dd_size"] = max_size
@@ -149,7 +170,10 @@ class AlternatingChecker:
             self.configuration.reconstruct_swaps,
         )
         self.permutation_statistics = {"circuit1": stats1, "circuit2": stats2}
-        self.package = DDPackage(self.configuration.tolerance)
+        self.package = DDPackage(
+            self.configuration.tolerance,
+            compute_table_size=self.configuration.compute_table_size,
+        )
 
     # -- oracles ----------------------------------------------------------
     def _schedule_naive(self, m1: int, m2: int) -> List[int]:
@@ -217,6 +241,8 @@ class AlternatingChecker:
         start = time.monotonic()
         pkg = self.package
         config = self.configuration
+        direct = config.direct_application
+        perf = PerfCounters()
         gates1 = [op.inverse() for op in self.logical1]  # applied right
         gates2 = list(self.logical2.operations)  # applied left
         accumulated = pkg.identity(self.num_qubits)
@@ -224,75 +250,85 @@ class AlternatingChecker:
         trace: List[int] = []
 
         if config.oracle == "lookahead":
-            index1 = index2 = 0
-            while index1 < len(gates1) or index2 < len(gates2):
-                _check_deadline(deadline)
-                candidate1 = candidate2 = None
-                if index1 < len(gates1):
-                    candidate1 = pkg.multiply(
-                        accumulated,
-                        operation_dd(pkg, gates1[index1], self.num_qubits),
-                    )
-                if index2 < len(gates2):
-                    candidate2 = pkg.multiply(
-                        operation_dd(pkg, gates2[index2], self.num_qubits),
-                        accumulated,
-                    )
-                if candidate2 is None or (
-                    candidate1 is not None
-                    and matrix_dd_size(candidate1) <= matrix_dd_size(candidate2)
-                ):
-                    accumulated = candidate1
-                    index1 += 1
-                else:
-                    accumulated = candidate2
-                    index2 += 1
-                size = matrix_dd_size(accumulated)
-                max_size = max(max_size, size)
-                if config.trace_sizes:
-                    trace.append(size)
-        else:
-            if config.oracle == "naive":
-                schedule = self._schedule_naive(len(gates1), len(gates2))
-            elif config.oracle == "compilation_flow":
-                schedule = self._schedule_compilation_flow()
-            else:
-                schedule = self._schedule_proportional(
-                    len(gates1), len(gates2)
-                )
-            index1 = index2 = 0
-            for side in schedule:
-                _check_deadline(deadline)
-                if side == 1:
-                    accumulated = pkg.multiply(
-                        accumulated,
-                        operation_dd(pkg, gates1[index1], self.num_qubits),
-                    )
-                    index1 += 1
-                else:
-                    accumulated = pkg.multiply(
-                        operation_dd(pkg, gates2[index2], self.num_qubits),
-                        accumulated,
-                    )
-                    index2 += 1
-                if config.trace_sizes:
+            with perf.phase("alternation"):
+                index1 = index2 = 0
+                while index1 < len(gates1) or index2 < len(gates2):
+                    _check_deadline(deadline)
+                    candidate1 = candidate2 = None
+                    if index1 < len(gates1):
+                        candidate1 = apply_operation_right(
+                            pkg, accumulated, gates1[index1],
+                            self.num_qubits, direct=direct,
+                        )
+                    if index2 < len(gates2):
+                        candidate2 = apply_operation_left(
+                            pkg, accumulated, gates2[index2],
+                            self.num_qubits, direct=direct,
+                        )
+                    if candidate2 is None or (
+                        candidate1 is not None
+                        and matrix_dd_size(candidate1)
+                        <= matrix_dd_size(candidate2)
+                    ):
+                        accumulated = candidate1
+                        index1 += 1
+                    else:
+                        accumulated = candidate2
+                        index2 += 1
+                    perf.count("gate_applications")
                     size = matrix_dd_size(accumulated)
                     max_size = max(max_size, size)
-                    trace.append(size)
+                    if config.trace_sizes:
+                        trace.append(size)
+        else:
+            with perf.phase("schedule"):
+                if config.oracle == "naive":
+                    schedule = self._schedule_naive(len(gates1), len(gates2))
+                elif config.oracle == "compilation_flow":
+                    schedule = self._schedule_compilation_flow()
+                else:
+                    schedule = self._schedule_proportional(
+                        len(gates1), len(gates2)
+                    )
+            with perf.phase("alternation"):
+                index1 = index2 = 0
+                for side in schedule:
+                    _check_deadline(deadline)
+                    if side == 1:
+                        accumulated = apply_operation_right(
+                            pkg, accumulated, gates1[index1],
+                            self.num_qubits, direct=direct,
+                        )
+                        index1 += 1
+                    else:
+                        accumulated = apply_operation_left(
+                            pkg, accumulated, gates2[index2],
+                            self.num_qubits, direct=direct,
+                        )
+                        index2 += 1
+                    perf.count("gate_applications")
+                    if config.trace_sizes:
+                        size = matrix_dd_size(accumulated)
+                        max_size = max(max_size, size)
+                        trace.append(size)
 
         if not config.trace_sizes:
             max_size = max(max_size, matrix_dd_size(accumulated))
-        verdict = _phase_verdict(
-            pkg, accumulated, self.num_qubits, config.fidelity_threshold
-        )
+        with perf.phase("verdict"):
+            verdict = _phase_verdict(
+                pkg, accumulated, self.num_qubits, config.fidelity_threshold
+            )
+            fidelity = pkg.hilbert_schmidt_fidelity(
+                accumulated, self.num_qubits
+            )
         statistics = {
             "max_dd_size": max_size,
             "final_dd_size": matrix_dd_size(accumulated),
-            "hilbert_schmidt_fidelity": pkg.hilbert_schmidt_fidelity(
-                accumulated, self.num_qubits
-            ),
+            "hilbert_schmidt_fidelity": fidelity,
             "unique_nodes": pkg.num_unique_matrix_nodes(),
             "permutations": self.permutation_statistics,
+            "complex_table": pkg.complex_table.stats(),
+            "perf": {**perf.as_dict(), **package_statistics(pkg)},
         }
         if config.trace_sizes:
             statistics["dd_size_trace"] = trace

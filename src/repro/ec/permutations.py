@@ -19,7 +19,7 @@ all of them handle permuted inputs/outputs uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Operation
@@ -65,7 +65,7 @@ def _is_cx(op: Operation) -> bool:
 
 def to_logical_form(
     circuit: QuantumCircuit,
-    num_qubits: int = None,
+    num_qubits: Optional[int] = None,
     elide_permutations: bool = True,
     reconstruct: bool = True,
 ) -> Tuple[QuantumCircuit, Dict[str, int]]:

@@ -23,7 +23,8 @@ from repro.ec.configuration import Configuration
 from repro.ec.dd_checker import _check_deadline
 from repro.ec.permutations import to_logical_form
 from repro.ec.results import Equivalence, EquivalenceCheckingResult
-from repro.ec.stimuli import generate_stimulus
+from repro.ec.stimuli import generate_stimulus, prepare_stimulus_state
+from repro.perf import PerfCounters, package_statistics
 
 
 def simulation_check(
@@ -49,37 +50,56 @@ def simulation_check(
         circuit2, num_qubits, config.elide_permutations, config.reconstruct_swaps
     )
     rng = random.Random(config.seed)
-    pkg = DDPackage(config.tolerance)
+    pkg = DDPackage(
+        config.tolerance, compute_table_size=config.compute_table_size
+    )
+    direct = config.direct_application
+    perf = PerfCounters()
+
+    def statistics(runs: int, fidelity: float) -> dict:
+        return {
+            "simulations_run": runs,
+            "min_fidelity": fidelity,
+            "complex_table": pkg.complex_table.stats(),
+            "perf": {**perf.as_dict(), **package_statistics(pkg)},
+        }
 
     runs = 0
     min_fidelity = 1.0
     for _ in range(config.num_simulations):
-        stimulus = generate_stimulus(
-            config.stimuli_type, num_qubits, data_qubits, rng
-        )
-        prepared = pkg.basis_state(num_qubits)
-        for op in stimulus:
-            prepared = apply_operation_to_vector(pkg, prepared, op, num_qubits)
+        with perf.phase("stimulus_preparation"):
+            stimulus = generate_stimulus(
+                config.stimuli_type, num_qubits, data_qubits, rng
+            )
+            prepared = prepare_stimulus_state(
+                pkg, stimulus, num_qubits, direct=direct
+            )
         state1 = state2 = prepared
-        for op in logical1:
-            _check_deadline(deadline)
-            state1 = apply_operation_to_vector(pkg, state1, op, num_qubits)
-        for op in logical2:
-            _check_deadline(deadline)
-            state2 = apply_operation_to_vector(pkg, state2, op, num_qubits)
+        with perf.phase("simulation"):
+            for op in logical1:
+                _check_deadline(deadline)
+                state1 = apply_operation_to_vector(
+                    pkg, state1, op, num_qubits, direct=direct
+                )
+            for op in logical2:
+                _check_deadline(deadline)
+                state2 = apply_operation_to_vector(
+                    pkg, state2, op, num_qubits, direct=direct
+                )
         runs += 1
-        fidelity = pkg.fidelity(state1, state2)
+        with perf.phase("fidelity"):
+            fidelity = pkg.fidelity(state1, state2)
         min_fidelity = min(min_fidelity, fidelity)
         if abs(fidelity - 1.0) > config.fidelity_threshold:
             return EquivalenceCheckingResult(
                 Equivalence.NOT_EQUIVALENT,
                 "simulation",
                 time.monotonic() - start,
-                {"simulations_run": runs, "min_fidelity": fidelity},
+                statistics(runs, fidelity),
             )
     return EquivalenceCheckingResult(
         Equivalence.PROBABLY_EQUIVALENT,
         "simulation",
         time.monotonic() - start,
-        {"simulations_run": runs, "min_fidelity": min_fidelity},
+        statistics(runs, min_fidelity),
     )

@@ -44,14 +44,18 @@ def state_check(
     logical2, _ = to_logical_form(
         circuit2, num_qubits, config.elide_permutations, config.reconstruct_swaps
     )
-    pkg = DDPackage(config.tolerance)
+    pkg = DDPackage(
+        config.tolerance, compute_table_size=config.compute_table_size
+    )
     states = []
     max_size = 0
     for logical in (logical1, logical2):
         state = pkg.basis_state(num_qubits)
         for op in logical:
             _check_deadline(deadline)
-            state = apply_operation_to_vector(pkg, state, op, num_qubits)
+            state = apply_operation_to_vector(
+                pkg, state, op, num_qubits, direct=config.direct_application
+            )
         states.append(state)
         max_size = max(max_size, vector_dd_size(state))
     overlap = pkg.inner_product(states[0], states[1])

@@ -27,6 +27,8 @@ import random
 from typing import List, Optional
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.dd.node import VEdge
+from repro.dd.package import DDPackage
 
 #: The supported stimuli families.
 STIMULI_TYPES = ("classical", "local_quantum", "global_quantum")
@@ -105,3 +107,24 @@ def generate_stimulus(
             f"unknown stimuli type {kind!r}; pick one of {STIMULI_TYPES}"
         )
     return _GENERATORS[kind](num_qubits, data_qubits, rng or random.Random())
+
+
+def prepare_stimulus_state(
+    pkg: DDPackage,
+    stimulus: QuantumCircuit,
+    num_qubits: int,
+    direct: bool = True,
+) -> VEdge:
+    """Run a stimulus-preparation circuit on ``|0...0>`` as a vector DD.
+
+    Uses the fast-path vector kernel by default, so preparing a stimulus
+    on a wide compiled register touches only the data-qubit levels.
+    """
+    from repro.dd.gates import apply_operation_to_vector
+
+    state = pkg.basis_state(num_qubits)
+    for op in stimulus:
+        state = apply_operation_to_vector(
+            pkg, state, op, num_qubits, direct=direct
+        )
+    return state

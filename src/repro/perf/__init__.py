@@ -1,0 +1,15 @@
+"""Cheap performance observability for the DD engine and checkers.
+
+Every equivalence check can carry a :class:`PerfCounters` that records
+wall time per checker phase plus ad-hoc counters, and
+:func:`package_statistics` snapshots a :class:`repro.dd.DDPackage`'s
+compute-table hit/miss/eviction counters, complex-table statistics and
+unique-node counts.  Both are plain dictionaries once serialized, so they
+flow through :class:`repro.ec.results.EquivalenceCheckingResult` and the
+CLI ``--verbose`` output unchanged, and land in benchmark JSON artifacts
+(``BENCH_dd_kernels.json``) for trend tracking.
+"""
+
+from repro.perf.counters import PerfCounters, package_statistics
+
+__all__ = ["PerfCounters", "package_statistics"]

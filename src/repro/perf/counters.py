@@ -1,0 +1,68 @@
+"""Phase timers, counters and DD-package statistics snapshots.
+
+Designed to stay cheap enough to leave enabled unconditionally: a phase
+measurement is two ``perf_counter`` calls and a dict update, and the
+package snapshot only reads counters the DD package maintains anyway.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.dd.package import DDPackage
+
+
+class PerfCounters:
+    """Wall time per named phase plus arbitrary integer counters."""
+
+    __slots__ = ("phase_seconds", "counters")
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the ``with`` body under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable view: rounded phase times plus raw counters."""
+        out: Dict[str, object] = {
+            "phase_seconds": {
+                name: round(value, 6)
+                for name, value in sorted(self.phase_seconds.items())
+            }
+        }
+        if self.counters:
+            out["counters"] = dict(sorted(self.counters.items()))
+        return out
+
+
+def package_statistics(pkg: DDPackage) -> Dict[str, object]:
+    """Snapshot one DD package's internal performance counters.
+
+    Returns a nested dict with per-compute-table hit/miss/eviction
+    statistics, the complex table's hit/miss/size, and unique-node totals
+    (the node counts are cumulative — unique tables never evict, so the
+    final count is also the peak).
+    """
+    return {
+        "compute_tables": pkg.compute_table_stats(),
+        "complex_table": pkg.complex_table.stats(),
+        "unique_matrix_nodes": pkg.num_unique_matrix_nodes(),
+        "unique_vector_nodes": pkg.num_unique_vector_nodes(),
+        "matrix_nodes_created": pkg.matrix_nodes_created,
+        "vector_nodes_created": pkg.vector_nodes_created,
+    }

@@ -1,0 +1,64 @@
+"""Tier-1 smoke benchmark for the DD fast-path kernels.
+
+Marked ``bench_smoke`` so it can be selected alone::
+
+    PYTHONPATH=src python -m pytest -m bench_smoke -q
+
+It is deliberately tiny (well under 5 seconds) — the full baseline
+comparison lives in ``benchmarks/bench_dd_kernels.py``, which writes
+``BENCH_dd_kernels.json``.  Here we only guard the invariants the
+benchmark relies on: the direct and legacy kernels agree on a compiled
+pair, and the direct path stays fast enough to run in tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.algorithms import ghz_state
+from repro.compile import compile_circuit, line_architecture
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.ec.results import Equivalence
+
+POSITIVE = (
+    Equivalence.EQUIVALENT,
+    Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+)
+
+
+@pytest.mark.bench_smoke
+def test_dd_kernel_smoke():
+    original = ghz_state(8)
+    compiled = compile_circuit(original, line_architecture(10))
+
+    verdicts = {}
+    elapsed = {}
+    for label, direct in (("direct", True), ("legacy", False)):
+        config = Configuration(
+            strategy="alternating", seed=0, direct_application=direct
+        )
+        start = time.perf_counter()
+        result = EquivalenceCheckingManager(original, compiled, config).run()
+        elapsed[label] = time.perf_counter() - start
+        verdicts[label] = result.equivalence
+        assert result.equivalence in POSITIVE, label
+
+    assert verdicts["direct"] == verdicts["legacy"]
+    # Generous bound: this pair takes ~0.1 s; 5 s means something broke.
+    assert elapsed["direct"] < 5.0
+
+
+@pytest.mark.bench_smoke
+def test_dd_kernel_smoke_detects_error():
+    """The fast path must still catch an injected error."""
+    from repro.bench.errors import remove_random_gate
+
+    original = ghz_state(8)
+    compiled = compile_circuit(original, line_architecture(10))
+    broken = remove_random_gate(compiled, seed=0)
+
+    config = Configuration(strategy="alternating", seed=0)
+    result = EquivalenceCheckingManager(original, broken, config).run()
+    assert result.equivalence is Equivalence.NOT_EQUIVALENT
