@@ -1,0 +1,151 @@
+"""Legacy-vs-incremental baseline for the ZX simplification engines.
+
+Times ``full_reduce`` on the composed ``G' G†`` diagrams of the Table-1
+"Optimized Circuits" pairs with the legacy rescan-to-fixpoint drivers
+(the seed behaviour, ``incremental=False``) against the worklist-driven
+incremental engine (:mod:`repro.zx.worklist`, the default), and records
+the comparison in ``BENCH_zx_simplify.json`` at the repository root.
+
+Both engines apply the same rule steps and match predicates — only the
+scheduling differs — so each case asserts identical final spider and
+edge counts; any speedup is pure match-scheduling, never a different
+rewrite outcome.
+
+Run:  PYTHONPATH=src python benchmarks/bench_zx_simplify.py
+
+(The module intentionally defines no ``test_*``/pytest entry points; the
+tier-1 smoke guard lives in ``tests/perf/test_bench_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+from repro.bench import algorithms, reversible
+from repro.compile.decompose import decompose_to_basis
+from repro.compile.optimize import optimize_circuit
+from repro.perf import PerfCounters
+from repro.zx import circuit_to_zx, full_reduce
+
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_zx_simplify.json"
+
+
+def build_cases():
+    """Table-1 'Optimized Circuits' (name, original, optimized) pairs."""
+    originals = {
+        "urf_5": reversible.synthesize(
+            reversible.random_reversible_function(5, seed=1)
+        ),
+        "plus13mod64": reversible.synthesize(
+            reversible.plus_constant_mod(6, 13)
+        ),
+        "hwb_5": reversible.synthesize(reversible.hidden_weighted_bit(5)),
+        "grover_4": algorithms.grover(4),
+        "qft_6": algorithms.qft(6),
+        "randomwalk_3": algorithms.quantum_random_walk(3, steps=2),
+    }
+    return [
+        (name, circuit, optimize_circuit(decompose_to_basis(circuit), level=2))
+        for name, circuit in originals.items()
+    ]
+
+
+def composed_diagram(circuit1, circuit2):
+    return circuit_to_zx(circuit1).adjoint().compose(circuit_to_zx(circuit2))
+
+
+def timed_reduce(circuit1, circuit2, incremental):
+    """Best-of-``REPEATS`` wall time plus the final diagram and counters."""
+    best = math.inf
+    diagram = None
+    counters = None
+    for _ in range(REPEATS):
+        candidate = composed_diagram(circuit1, circuit2)
+        perf = PerfCounters()
+        start = time.perf_counter()
+        full_reduce(candidate, incremental=incremental, counters=perf)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        diagram = candidate
+        counters = perf.counters
+    return best, diagram, counters
+
+
+def main() -> int:
+    cases = []
+    for name, circuit1, circuit2 in build_cases():
+        initial = composed_diagram(circuit1, circuit2)
+        legacy_time, legacy_diagram, _ = timed_reduce(
+            circuit1, circuit2, incremental=False
+        )
+        new_time, new_diagram, new_counters = timed_reduce(
+            circuit1, circuit2, incremental=True
+        )
+        counts_identical = (
+            legacy_diagram.num_spiders == new_diagram.num_spiders
+            and legacy_diagram.num_edges == new_diagram.num_edges
+        )
+        speedup = legacy_time / new_time if new_time else math.inf
+        cases.append({
+            "case": name,
+            "num_qubits": max(circuit1.num_qubits, circuit2.num_qubits),
+            "num_gates": [len(circuit1), len(circuit2)],
+            "initial_spiders": initial.num_spiders,
+            "seed_seconds": round(legacy_time, 6),
+            "new_seconds": round(new_time, 6),
+            "speedup": round(speedup, 3),
+            "final_spiders": [
+                legacy_diagram.num_spiders, new_diagram.num_spiders,
+            ],
+            "final_edges": [
+                legacy_diagram.num_edges, new_diagram.num_edges,
+            ],
+            "counts_identical": counts_identical,
+            "incremental_counters": dict(sorted(new_counters.items())),
+        })
+        print(
+            f"{name:20s} seed {legacy_time:7.3f}s  new {new_time:7.3f}s  "
+            f"{speedup:5.2f}x  counts_identical={counts_identical}"
+        )
+        assert counts_identical, f"{name}: engines reduced to different sizes"
+
+    speedups = [case["speedup"] for case in cases]
+    report = {
+        "benchmark": "zx_simplify",
+        "description": (
+            "Incremental worklist-driven full_reduce vs the seed "
+            "rescan-to-fixpoint drivers, composed G'Gdg diagrams of the "
+            "Table-1 optimized-circuit pairs"
+        ),
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "cases": cases,
+        "summary": {
+            "min_speedup": round(min(speedups), 3),
+            "max_speedup": round(max(speedups), 3),
+            "geomean_speedup": round(
+                math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+                3,
+            ),
+            "all_counts_identical":
+                all(case["counts_identical"] for case in cases),
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(
+        "geomean speedup "
+        f"{report['summary']['geomean_speedup']}x, "
+        f"max {report['summary']['max_speedup']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

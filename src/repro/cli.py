@@ -97,6 +97,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         seed=args.seed,
         direct_application=not args.legacy_kernels,
+        incremental_zx=not args.legacy_zx_simp,
         **config_kwargs,
     )
     result = EquivalenceCheckingManager(
@@ -201,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--legacy-kernels", action="store_true",
         help="disable the direct gate-application fast path (A/B baseline)",
+    )
+    verify.add_argument(
+        "--legacy-zx-simp", action="store_true",
+        help="disable the incremental worklist ZX simplifier and use the "
+        "rescan-to-fixpoint drivers (A/B baseline)",
     )
     verify.add_argument(
         "--compute-table-size", type=int, default=None,

@@ -53,6 +53,11 @@ class Configuration:
             ablation benchmarks.
         compute_table_size: Slots per DD compute table (rounded up to a
             power of two), or ``None`` for unbounded dict-backed tables.
+        incremental_zx: Use the incremental worklist-driven ZX
+            simplification engine (:mod:`repro.zx.worklist`, default).
+            ``False`` selects the legacy rescan-to-fixpoint drivers in
+            :mod:`repro.zx.simplify` — the seed behaviour, kept for A/B
+            ablation benchmarks (CLI ``--legacy-zx-simp``).
     """
 
     strategy: str = "combined"
@@ -68,6 +73,7 @@ class Configuration:
     seed: Optional[int] = None
     direct_application: bool = True
     compute_table_size: Optional[int] = DEFAULT_COMPUTE_TABLE_SIZE
+    incremental_zx: bool = True
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""

@@ -24,6 +24,7 @@ from repro.ec.results import (
     EquivalenceCheckingResult,
     EquivalenceCheckingTimeout,
 )
+from repro.perf import PerfCounters
 from repro.zx.circuit_conv import circuit_to_zx
 from repro.zx.simplify import (
     SimplificationTimeout,
@@ -48,21 +49,39 @@ def zx_check(
     logical2, _ = to_logical_form(
         circuit2, num_qubits, config.elide_permutations, config.reconstruct_swaps
     )
-    diagram = circuit_to_zx(logical1).adjoint().compose(circuit_to_zx(logical2))
+    perf = PerfCounters()
+    with perf.phase("compose"):
+        diagram = circuit_to_zx(logical1).adjoint().compose(
+            circuit_to_zx(logical2)
+        )
     initial_spiders = diagram.num_spiders
     try:
-        rewrites = full_reduce(diagram, deadline=deadline)
+        with perf.phase("simplify"):
+            rewrites = full_reduce(
+                diagram,
+                deadline=deadline,
+                incremental=config.incremental_zx,
+                counters=perf,
+            )
         # Reproduction extension: circuits decomposed with different Euler
         # conventions leave numerically-identity single-qubit chains the
         # symbolic rules cannot see; contract them and re-reduce.
-        while contract_unitary_chains(diagram, config.tolerance * 1e4):
-            rewrites += full_reduce(diagram, deadline=deadline)
+        with perf.phase("chain_contraction"):
+            while contract_unitary_chains(diagram, config.tolerance * 1e4):
+                rewrites += full_reduce(
+                    diagram,
+                    deadline=deadline,
+                    incremental=config.incremental_zx,
+                    counters=perf,
+                )
     except SimplificationTimeout as exc:
         raise EquivalenceCheckingTimeout() from exc
     statistics = {
         "initial_spiders": initial_spiders,
         "spiders_remaining": diagram.num_spiders,
         "zx_rewrites": rewrites,
+        "zx_engine": "incremental" if config.incremental_zx else "legacy",
+        "perf": perf.as_dict(),
     }
     permutation = diagram.wire_permutation()
     if permutation is not None:

@@ -38,7 +38,14 @@ class EdgeType(IntEnum):
 
 
 class ZXDiagram:
-    """A mutable ZX-diagram."""
+    """A mutable ZX-diagram.
+
+    A *mutation tracker* (see :class:`repro.zx.worklist.DirtyTracker`) can be
+    attached; while attached, every mutation that can change a rewrite-rule
+    match — phase, type, or incident-edge changes — notifies the tracker with
+    the affected vertex ids.  The hooks are a single ``is not None`` check
+    when no tracker is attached, so the legacy (untracked) paths pay nothing.
+    """
 
     def __init__(self) -> None:
         self._types: Dict[int, VertexType] = {}
@@ -47,6 +54,19 @@ class ZXDiagram:
         self.inputs: List[int] = []
         self.outputs: List[int] = []
         self._next_id = 0
+        self._tracker = None
+
+    # ------------------------------------------------------------------
+    # mutation tracking
+    # ------------------------------------------------------------------
+    def attach_tracker(self, tracker) -> None:
+        """Attach a mutation tracker (one at a time)."""
+        if self._tracker is not None:
+            raise ValueError("a tracker is already attached")
+        self._tracker = tracker
+
+    def detach_tracker(self) -> None:
+        self._tracker = None
 
     # ------------------------------------------------------------------
     # vertices
@@ -60,15 +80,22 @@ class ZXDiagram:
         self._types[vertex] = vertex_type
         self._phases[vertex] = normalize_phase(phase)
         self._adjacency[vertex] = {}
+        if self._tracker is not None:
+            self._tracker.touch(vertex)
         return vertex
 
     def remove_vertex(self, vertex: int) -> None:
         """Remove a vertex and all incident edges."""
-        for neighbor in list(self._adjacency[vertex]):
+        neighbors = tuple(self._adjacency[vertex])
+        for neighbor in neighbors:
             del self._adjacency[neighbor][vertex]
         del self._adjacency[vertex]
         del self._types[vertex]
         del self._phases[vertex]
+        if self._tracker is not None:
+            self._tracker.forget(vertex)
+            for neighbor in neighbors:
+                self._tracker.touch_edges(neighbor)
 
     def vertices(self) -> Iterator[int]:
         return iter(tuple(self._types))
@@ -89,15 +116,21 @@ class ZXDiagram:
 
     def set_vertex_type(self, vertex: int, vertex_type: VertexType) -> None:
         self._types[vertex] = vertex_type
+        if self._tracker is not None:
+            self._tracker.touch(vertex)
 
     def phase(self, vertex: int) -> Phase:
         return self._phases[vertex]
 
     def set_phase(self, vertex: int, phase: Phase) -> None:
         self._phases[vertex] = normalize_phase(phase)
+        if self._tracker is not None:
+            self._tracker.touch(vertex)
 
     def add_to_phase(self, vertex: int, phase: Phase) -> None:
         self._phases[vertex] = add_phases(self._phases[vertex], phase)
+        if self._tracker is not None:
+            self._tracker.touch(vertex)
 
     def is_boundary(self, vertex: int) -> bool:
         return self._types[vertex] is VertexType.BOUNDARY
@@ -117,10 +150,16 @@ class ZXDiagram:
             raise ValueError(f"vertices {u} and {v} already connected")
         self._adjacency[u][v] = edge_type
         self._adjacency[v][u] = edge_type
+        if self._tracker is not None:
+            self._tracker.touch_edges(u)
+            self._tracker.touch_edges(v)
 
     def disconnect(self, u: int, v: int) -> None:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        if self._tracker is not None:
+            self._tracker.touch_edges(u)
+            self._tracker.touch_edges(v)
 
     def connected(self, u: int, v: int) -> bool:
         return v in self._adjacency[u]
@@ -131,9 +170,24 @@ class ZXDiagram:
     def set_edge_type(self, u: int, v: int, edge_type: EdgeType) -> None:
         self._adjacency[u][v] = edge_type
         self._adjacency[v][u] = edge_type
+        if self._tracker is not None:
+            self._tracker.touch_edges(u)
+            self._tracker.touch_edges(v)
 
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Neighbors as a fresh tuple (stable under mutation, indexable)."""
         return tuple(self._adjacency[vertex])
+
+    def neighbor_view(self, vertex: int):
+        """Zero-copy view of the neighbors (a dict keys view).
+
+        For hot-loop callers that only iterate or test membership:
+        :meth:`neighbors` materializes a tuple on every call, which dominated
+        profile time in the simplification match loops.  The view is live —
+        callers that mutate the diagram while iterating must use
+        :meth:`neighbors` (or copy) instead.
+        """
+        return self._adjacency[vertex].keys()
 
     def degree(self, vertex: int) -> int:
         return len(self._adjacency[vertex])

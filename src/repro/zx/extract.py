@@ -83,7 +83,7 @@ def extract_circuit(diagram: ZXDiagram) -> QuantumCircuit:
     permutation: Dict[int, int] = {}
     output_positions = {v: q for q, v in enumerate(g.outputs)}
     for i, input_vertex in enumerate(g.inputs):
-        (neighbor,) = g.neighbors(input_vertex)
+        (neighbor,) = g.neighbor_view(input_vertex)
         if neighbor not in output_positions or g.edge_type(
             input_vertex, neighbor
         ) is not EdgeType.SIMPLE:
@@ -102,7 +102,7 @@ def _normalize_output_edges(
     """Turn H edges into outputs into H gates; returns True on change."""
     changed = False
     for q, output in enumerate(g.outputs):
-        (neighbor,) = g.neighbors(output)
+        (neighbor,) = g.neighbor_view(output)
         if g.edge_type(output, neighbor) is EdgeType.HADAMARD:
             reversed_gates.append(Operation("h", (q,)))
             g.set_edge_type(output, neighbor, EdgeType.SIMPLE)
@@ -116,7 +116,7 @@ def _frontier(
     """Map qubit -> frontier spider; None when all wires are finished."""
     frontier: Dict[int, int] = {}
     for q, output in enumerate(g.outputs):
-        (neighbor,) = g.neighbors(output)
+        (neighbor,) = g.neighbor_view(output)
         if neighbor in input_positions:
             continue  # finished wire
         if g.is_boundary(neighbor):
@@ -160,7 +160,7 @@ def _back_neighbors(
     """Neighbours of a frontier spider other than its output boundary."""
     return [
         n
-        for n in g.neighbors(vertex)
+        for n in g.neighbor_view(vertex)
         if not (g.is_boundary(n) and g.degree(n) == 1 and _is_output(g, n))
     ]
 

@@ -25,6 +25,17 @@ use-case does not need (tensor tests compare up to proportionality).
 The number of spiders never increases — the property the paper highlights
 ("because the number of spiders are non-increasing [...] the size of the
 diagram does not blow up").
+
+Two execution engines share the rule *steps* and *match predicates* defined
+here:
+
+* the **legacy rescan drivers** in this module (``id_simp`` & friends)
+  rescan every vertex/edge after each application — O(rounds × |G|); they
+  are kept as the A/B baseline behind ``full_reduce(..., incremental=False)``
+  (CLI ``--legacy-zx-simp``), and
+
+* the **incremental worklist engine** in :mod:`repro.zx.worklist`, the
+  default, which re-examines only vertices whose neighborhood changed.
 """
 
 from __future__ import annotations
@@ -34,16 +45,27 @@ from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.zx.diagram import EdgeType, VertexType, ZXDiagram
-from repro.zx.phase import (
-    is_pauli_phase,
-    is_proper_clifford_phase,
-    negate_phase,
-    normalize_phase,
-)
+from repro.zx.phase import negate_phase
 
 _ZERO = Fraction(0)
 _HALF = Fraction(1, 2)
 _ONE = Fraction(1)
+
+
+def _stored_pauli(phase) -> bool:
+    """:func:`repro.zx.phase.is_pauli_phase` for already-stored phases.
+
+    The diagram normalizes every phase to ``[0, 2)`` on mutation (floats
+    near dyadic fractions are snapped to exact :class:`Fraction`), so the
+    Pauli test reduces to an integrality check — no re-normalization in
+    the match loops.
+    """
+    return type(phase) is Fraction and phase.denominator == 1
+
+
+def _stored_proper_clifford(phase) -> bool:
+    """:func:`repro.zx.phase.is_proper_clifford_phase` for stored phases."""
+    return type(phase) is Fraction and phase.denominator == 2
 
 
 class SimplificationTimeout(Exception):
@@ -120,7 +142,8 @@ def to_graph_like(diagram: ZXDiagram) -> ZXDiagram:
     for vertex in list(diagram.vertices()):
         if diagram.vertex_type(vertex) is VertexType.X:
             diagram.set_vertex_type(vertex, VertexType.Z)
-            for neighbor in diagram.neighbors(vertex):
+            # set_edge_type only rewrites values, so the live view is safe
+            for neighbor in diagram.neighbor_view(vertex):
                 current = diagram.edge_type(vertex, neighbor)
                 flipped = (
                     EdgeType.SIMPLE
@@ -150,8 +173,62 @@ def to_graph_like(diagram: ZXDiagram) -> ZXDiagram:
 # ---------------------------------------------------------------------------
 # identity removal
 # ---------------------------------------------------------------------------
-def id_simp(diagram: ZXDiagram, deadline=None) -> int:
-    """Remove phase-0 Z spiders of degree two; returns number removed."""
+def _id_applicable(diagram: ZXDiagram, vertex: int) -> bool:
+    """Phase-0 Z spider of degree two (phases are stored normalized).
+
+    The degree test goes first: on dense mid-simplification diagrams it
+    rejects nearly every candidate with a single length check.
+    """
+    return (
+        len(diagram._adjacency[vertex]) == 2
+        and diagram._types[vertex] is VertexType.Z
+        and diagram._phases[vertex] == 0
+    )
+
+
+def id_step(diagram: ZXDiagram, vertex: int) -> None:
+    """Remove the phase-0 degree-2 spider ``vertex``, splicing its wires."""
+    n1, n2 = diagram.neighbors(vertex)
+    t1 = diagram.edge_type(vertex, n1)
+    t2 = diagram.edge_type(vertex, n2)
+    combined = EdgeType.SIMPLE if t1 is t2 else EdgeType.HADAMARD
+    diagram.remove_vertex(vertex)
+    if not diagram.connected(n1, n2):
+        diagram.connect(n1, n2, combined)
+    else:
+        both_z = (
+            diagram.vertex_type(n1) is VertexType.Z
+            and diagram.vertex_type(n2) is VertexType.Z
+        )
+        if not both_z:
+            raise ValueError(
+                "parallel edge through a boundary — malformed diagram"
+            )
+        existing = diagram.edge_type(n1, n2)
+        if existing is combined:
+            if combined is EdgeType.HADAMARD:
+                diagram.disconnect(n1, n2)  # Hopf
+            # doubled simple edge between Z spiders: idempotent
+        else:
+            diagram.set_edge_type(n1, n2, EdgeType.SIMPLE)
+            diagram.add_to_phase(n1, _ONE)
+    # A surviving simple edge between two Z spiders must be fused to
+    # keep the diagram graph-like.
+    if (
+        diagram.connected(n1, n2)
+        and diagram.edge_type(n1, n2) is EdgeType.SIMPLE
+        and diagram.vertex_type(n1) is VertexType.Z
+        and diagram.vertex_type(n2) is VertexType.Z
+    ):
+        _fuse(diagram, n1, n2)
+
+
+def id_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
+    """Remove phase-0 Z spiders of degree two; returns number removed.
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
+    """
     removed = 0
     again = True
     while again:
@@ -160,64 +237,64 @@ def id_simp(diagram: ZXDiagram, deadline=None) -> int:
         for vertex in list(diagram.vertices()):
             if vertex not in diagram._types:
                 continue
-            if diagram.vertex_type(vertex) is not VertexType.Z:
+            if not _id_applicable(diagram, vertex):
                 continue
-            if normalize_phase(diagram.phase(vertex)) != 0:
-                continue
-            if diagram.degree(vertex) != 2:
-                continue
-            n1, n2 = diagram.neighbors(vertex)
-            t1 = diagram.edge_type(vertex, n1)
-            t2 = diagram.edge_type(vertex, n2)
-            combined = EdgeType.SIMPLE if t1 is t2 else EdgeType.HADAMARD
-            diagram.remove_vertex(vertex)
+            id_step(diagram, vertex)
             removed += 1
             again = True
-            if not diagram.connected(n1, n2):
-                diagram.connect(n1, n2, combined)
-            else:
-                both_z = (
-                    diagram.vertex_type(n1) is VertexType.Z
-                    and diagram.vertex_type(n2) is VertexType.Z
-                )
-                if not both_z:
-                    raise ValueError(
-                        "parallel edge through a boundary — malformed diagram"
-                    )
-                existing = diagram.edge_type(n1, n2)
-                if existing is combined:
-                    if combined is EdgeType.HADAMARD:
-                        diagram.disconnect(n1, n2)  # Hopf
-                    # doubled simple edge between Z spiders: idempotent
-                else:
-                    diagram.set_edge_type(n1, n2, EdgeType.SIMPLE)
-                    diagram.add_to_phase(n1, _ONE)
-            # A surviving simple edge between two Z spiders must be fused to
-            # keep the diagram graph-like.
-            if (
-                diagram.connected(n1, n2)
-                and diagram.edge_type(n1, n2) is EdgeType.SIMPLE
-                and diagram.vertex_type(n1) is VertexType.Z
-                and diagram.vertex_type(n2) is VertexType.Z
-            ):
-                _fuse(diagram, n1, n2)
+    if counters is not None and removed:
+        counters.count("zx.id.matches", removed)
+        counters.count("zx.id.rewrites", removed)
     return removed
 
 
 # ---------------------------------------------------------------------------
 # local complementation
 # ---------------------------------------------------------------------------
-def _is_interior_spider(diagram: ZXDiagram, vertex: int) -> bool:
-    return diagram.vertex_type(
-        vertex
-    ) is VertexType.Z and diagram.is_interior(vertex)
-
-
 def _all_hadamard(diagram: ZXDiagram, vertex: int) -> bool:
-    return all(
-        diagram.edge_type(vertex, n) is EdgeType.HADAMARD
-        for n in diagram.neighbors(vertex)
-    )
+    edges = diagram._adjacency[vertex]
+    return all(t is EdgeType.HADAMARD for t in edges.values())
+
+
+def _hh_z_neighborhood(diagram: ZXDiagram, vertex: int) -> bool:
+    """Every incident edge Hadamard and every neighbor a Z spider.
+
+    Implies interior-ness (boundary vertices are not Z spiders).  A single
+    pass over the adjacency replaces the separate interior / all-Hadamard
+    / all-Z-neighbor scans the match predicates used to chain — this
+    predicate dominates the match loops on dense mid-simplification
+    diagrams.
+    """
+    types = diagram._types
+    for neighbor, edge_type in diagram._adjacency[vertex].items():
+        if (
+            edge_type is not EdgeType.HADAMARD
+            or types[neighbor] is not VertexType.Z
+        ):
+            return False
+    return True
+
+
+def _ungadgeted_hh_z_neighborhood(diagram: ZXDiagram, vertex: int) -> bool:
+    """:func:`_hh_z_neighborhood` plus the pivot-gadget gadget guards.
+
+    Rejects gadget leaves (degree-1 spiders — any degree-1 vertex passing
+    the Hadamard/Z checks *is* a leaf) and spiders adjacent to one:
+    re-gadgetizing existing gadget structure would cycle forever.
+    """
+    adjacency = diagram._adjacency
+    types = diagram._types
+    edges = adjacency[vertex]
+    if len(edges) == 1:
+        return False
+    for neighbor, edge_type in edges.items():
+        if (
+            edge_type is not EdgeType.HADAMARD
+            or types[neighbor] is not VertexType.Z
+            or len(adjacency[neighbor]) == 1
+        ):
+            return False
+    return True
 
 
 def lcomp_step(diagram: ZXDiagram, vertex: int) -> None:
@@ -233,18 +310,18 @@ def lcomp_step(diagram: ZXDiagram, vertex: int) -> None:
 
 def _lcomp_applicable(diagram: ZXDiagram, vertex: int) -> bool:
     return (
-        _is_interior_spider(diagram, vertex)
-        and is_proper_clifford_phase(diagram.phase(vertex))
-        and _all_hadamard(diagram, vertex)
-        and all(
-            diagram.vertex_type(n) is VertexType.Z
-            for n in diagram.neighbors(vertex)
-        )
+        diagram._types[vertex] is VertexType.Z
+        and _stored_proper_clifford(diagram._phases[vertex])
+        and _hh_z_neighborhood(diagram, vertex)
     )
 
 
-def lcomp_simp(diagram: ZXDiagram, deadline=None) -> int:
-    """Eliminate interior ±pi/2 spiders via local complementation."""
+def lcomp_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
+    """Eliminate interior ±pi/2 spiders via local complementation.
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
+    """
     applied = 0
     again = True
     while again:
@@ -257,6 +334,9 @@ def lcomp_simp(diagram: ZXDiagram, deadline=None) -> int:
                 lcomp_step(diagram, vertex)
                 applied += 1
                 again = True
+    if counters is not None and applied:
+        counters.count("zx.lcomp.matches", applied)
+        counters.count("zx.lcomp.rewrites", applied)
     return applied
 
 
@@ -267,8 +347,8 @@ def pivot_step(diagram: ZXDiagram, u: int, v: int) -> None:
     """Pivot along the Hadamard edge ``(u, v)`` and delete both spiders."""
     phase_u = diagram.phase(u)
     phase_v = diagram.phase(v)
-    neighbors_u = set(diagram.neighbors(u)) - {v}
-    neighbors_v = set(diagram.neighbors(v)) - {u}
+    neighbors_u = set(diagram.neighbor_view(u)) - {v}
+    neighbors_v = set(diagram.neighbor_view(v)) - {u}
     common = neighbors_u & neighbors_v
     only_u = neighbors_u - common
     only_v = neighbors_v - common
@@ -293,24 +373,29 @@ def pivot_step(diagram: ZXDiagram, u: int, v: int) -> None:
         diagram.add_to_phase(c, _ONE)
 
 
-def _pivot_applicable(diagram: ZXDiagram, u: int, v: int) -> bool:
+def _pivot_endpoint_applicable(diagram: ZXDiagram, vertex: int) -> bool:
+    """Interior Pauli Z spider with an all-Hadamard, all-Z neighborhood."""
     return (
-        _is_interior_spider(diagram, u)
-        and _is_interior_spider(diagram, v)
-        and is_pauli_phase(diagram.phase(u))
-        and is_pauli_phase(diagram.phase(v))
-        and diagram.edge_type(u, v) is EdgeType.HADAMARD
-        and _all_hadamard(diagram, u)
-        and _all_hadamard(diagram, v)
-        and all(
-            diagram.vertex_type(n) is VertexType.Z
-            for n in diagram.neighbors(u) + diagram.neighbors(v)
-        )
+        diagram._types[vertex] is VertexType.Z
+        and _stored_pauli(diagram._phases[vertex])
+        and _hh_z_neighborhood(diagram, vertex)
     )
 
 
-def pivot_simp(diagram: ZXDiagram, deadline=None) -> int:
-    """Eliminate adjacent interior Pauli spider pairs via pivoting."""
+def _pivot_applicable(diagram: ZXDiagram, u: int, v: int) -> bool:
+    return (
+        diagram._adjacency[u].get(v) is EdgeType.HADAMARD
+        and _pivot_endpoint_applicable(diagram, u)
+        and _pivot_endpoint_applicable(diagram, v)
+    )
+
+
+def pivot_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
+    """Eliminate adjacent interior Pauli spider pairs via pivoting.
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
+    """
     applied = 0
     again = True
     while again:
@@ -327,6 +412,9 @@ def pivot_simp(diagram: ZXDiagram, deadline=None) -> int:
                 pivot_step(diagram, u, v)
                 applied += 1
                 again = True
+    if counters is not None and applied:
+        counters.count("zx.pivot.matches", applied)
+        counters.count("zx.pivot.rewrites", applied)
     return applied
 
 
@@ -347,7 +435,7 @@ def _is_gadget_leaf(diagram: ZXDiagram, vertex: int) -> bool:
     """True for degree-1 spiders hanging off a gadget axis."""
     if diagram.degree(vertex) != 1:
         return False
-    (axis,) = diagram.neighbors(vertex)
+    (axis,) = diagram.neighbor_view(vertex)
     return (
         diagram.vertex_type(vertex) is VertexType.Z
         and diagram.vertex_type(axis) is VertexType.Z
@@ -355,13 +443,54 @@ def _is_gadget_leaf(diagram: ZXDiagram, vertex: int) -> bool:
     )
 
 
-def pivot_gadget_simp(diagram: ZXDiagram, deadline=None) -> int:
+def _pivot_gadget_anchor_applicable(diagram: ZXDiagram, a: int) -> bool:
+    """Anchor side of pivot-gadget: interior, ungadgeted Pauli spider."""
+    return (
+        diagram._types[a] is VertexType.Z
+        and _stored_pauli(diagram._phases[a])
+        and _ungadgeted_hh_z_neighborhood(diagram, a)
+    )
+
+
+def _pivot_gadget_partner_applicable(diagram: ZXDiagram, b: int) -> bool:
+    """Partner side of pivot-gadget: interior, ungadgeted non-Pauli spider."""
+    return (
+        diagram._types[b] is VertexType.Z
+        and not _stored_pauli(diagram._phases[b])
+        and _ungadgeted_hh_z_neighborhood(diagram, b)
+    )
+
+
+def _pivot_gadget_applicable(diagram: ZXDiagram, a: int, b: int) -> bool:
+    """Interior Pauli spider ``a`` against interior non-Pauli partner ``b``.
+
+    Neither endpoint may belong to an existing gadget (be, or be adjacent
+    to, a degree-1 leaf): re-gadgetizing gadget structure would cycle
+    forever.  The partner's phase screen goes first — during the
+    Clifford-dominated rounds most partners are Pauli, so most calls exit
+    after two dictionary loads.
+    """
+    return _pivot_gadget_partner_applicable(
+        diagram, b
+    ) and _pivot_gadget_anchor_applicable(diagram, a)
+
+
+def pivot_gadget_step(diagram: ZXDiagram, a: int, b: int) -> None:
+    """Gadgetize the non-Pauli partner ``b``, then pivot along ``(a, b)``."""
+    _gadgetize(diagram, b)
+    pivot_step(diagram, a, b)
+
+
+def pivot_gadget_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     """Pivot interior Pauli spiders against non-Pauli partners.
 
     The non-Pauli partner's phase is first extracted into a phase gadget,
     making the partner a Pauli spider, after which a regular pivot removes
     the original pair.  This is what drives non-Clifford circuits towards
     the reduced gadget form of Kissinger & van de Wetering.
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
     """
     applied = 0
     again = True
@@ -376,44 +505,76 @@ def pivot_gadget_simp(diagram: ZXDiagram, deadline=None) -> int:
             if diagram.edge_type(u, v) is not EdgeType.HADAMARD:
                 continue
             for a, b in ((u, v), (v, u)):
-                if (
-                    _is_interior_spider(diagram, a)
-                    and is_pauli_phase(diagram.phase(a))
-                    and _all_hadamard(diagram, a)
-                    and _is_interior_spider(diagram, b)
-                    and not is_pauli_phase(diagram.phase(b))
-                    and _all_hadamard(diagram, b)
-                    and not _is_gadget_leaf(diagram, a)
-                    and not _is_gadget_leaf(diagram, b)
-                    # Neither endpoint may belong to an existing gadget
-                    # (be adjacent to a degree-1 leaf): re-gadgetizing
-                    # gadget structure would cycle forever.
-                    and not any(
-                        diagram.degree(n) == 1 for n in diagram.neighbors(a)
-                    )
-                    and not any(
-                        diagram.degree(n) == 1 for n in diagram.neighbors(b)
-                    )
-                    and all(
-                        diagram.vertex_type(n) is VertexType.Z
-                        for n in diagram.neighbors(a) + diagram.neighbors(b)
-                    )
-                ):
-                    _gadgetize(diagram, b)
-                    pivot_step(diagram, a, b)
+                if _pivot_gadget_applicable(diagram, a, b):
+                    pivot_gadget_step(diagram, a, b)
                     applied += 1
                     again = True
                     break
+    if counters is not None and applied:
+        counters.count("zx.pivot_gadget.matches", applied)
+        counters.count("zx.pivot_gadget.rewrites", applied)
     return applied
 
 
-def pivot_boundary_simp(diagram: ZXDiagram, deadline=None) -> int:
+def _pivot_boundary_partner_applicable(diagram: ZXDiagram, b: int) -> bool:
+    """Partner side of pivot-boundary: a boundary-adjacent Pauli spider
+    whose remaining neighbors are all Z spiders."""
+    if not (
+        diagram._types[b] is VertexType.Z
+        and _stored_pauli(diagram._phases[b])
+    ):
+        return False
+    types = diagram._types
+    boundary_adjacent = False
+    for neighbor in diagram._adjacency[b]:
+        neighbor_type = types[neighbor]
+        if neighbor_type is VertexType.BOUNDARY:
+            boundary_adjacent = True
+        elif neighbor_type is not VertexType.Z:
+            return False
+    return boundary_adjacent
+
+
+def _pivot_boundary_applicable(diagram: ZXDiagram, a: int, b: int) -> bool:
+    """Interior Pauli spider ``a`` against boundary-adjacent partner ``b``."""
+    return _pivot_boundary_partner_applicable(
+        diagram, b
+    ) and _pivot_endpoint_applicable(diagram, a)
+
+
+def pivot_boundary_step(diagram: ZXDiagram, a: int, b: int) -> None:
+    """Buffer ``b``'s boundary wires with fresh spiders, then pivot.
+
+    The buffering makes ``b`` interior with all-Hadamard edges, so the
+    regular pivot applies.
+    """
+    for boundary in [
+        n for n in diagram.neighbors(b) if diagram.is_boundary(n)
+    ]:
+        wire_type = diagram.edge_type(b, boundary)
+        buffer = diagram.add_vertex(VertexType.Z)
+        diagram.disconnect(b, boundary)
+        diagram.connect(b, buffer, EdgeType.HADAMARD)
+        diagram.connect(
+            buffer,
+            boundary,
+            EdgeType.SIMPLE
+            if wire_type is EdgeType.HADAMARD
+            else EdgeType.HADAMARD,
+        )
+    pivot_step(diagram, a, b)
+
+
+def pivot_boundary_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     """Pivot interior Pauli spiders against boundary-adjacent partners.
 
     The partner's boundary wires are first buffered with fresh spiders so
     it becomes interior; the net effect removes one interior Pauli spider
     per application without growing the spider count (one removed by the
     pivot for each one inserted).
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
     """
     applied = 0
     again = True
@@ -428,125 +589,174 @@ def pivot_boundary_simp(diagram: ZXDiagram, deadline=None) -> int:
             if diagram.edge_type(u, v) is not EdgeType.HADAMARD:
                 continue
             for a, b in ((u, v), (v, u)):
-                if not (
-                    _is_interior_spider(diagram, a)
-                    and is_pauli_phase(diagram.phase(a))
-                    and _all_hadamard(diagram, a)
-                    and diagram.vertex_type(b) is VertexType.Z
-                    and is_pauli_phase(diagram.phase(b))
-                    and not diagram.is_interior(b)
-                ):
-                    continue
-                if not all(
-                    diagram.vertex_type(n) is VertexType.Z
-                    or diagram.is_boundary(n)
-                    for n in diagram.neighbors(a) + diagram.neighbors(b)
-                ):
-                    continue
-                if any(
-                    diagram.is_boundary(n) for n in diagram.neighbors(a)
-                ):
-                    continue
-                # Buffer every boundary wire of b with a fresh spider so b
-                # becomes interior with all-Hadamard edges.
-                for boundary in [
-                    n for n in diagram.neighbors(b) if diagram.is_boundary(n)
-                ]:
-                    wire_type = diagram.edge_type(b, boundary)
-                    buffer = diagram.add_vertex(VertexType.Z)
-                    diagram.disconnect(b, boundary)
-                    diagram.connect(b, buffer, EdgeType.HADAMARD)
-                    diagram.connect(
-                        buffer,
-                        boundary,
-                        EdgeType.SIMPLE
-                        if wire_type is EdgeType.HADAMARD
-                        else EdgeType.HADAMARD,
-                    )
-                pivot_step(diagram, a, b)
-                applied += 1
-                again = True
-                break
+                if _pivot_boundary_applicable(diagram, a, b):
+                    pivot_boundary_step(diagram, a, b)
+                    applied += 1
+                    again = True
+                    break
+    if counters is not None and applied:
+        counters.count("zx.pivot_boundary.matches", applied)
+        counters.count("zx.pivot_boundary.rewrites", applied)
     return applied
 
 
 # ---------------------------------------------------------------------------
 # phase-gadget fusion
 # ---------------------------------------------------------------------------
-def gadget_simp(diagram: ZXDiagram) -> int:
-    """Fuse phase gadgets with identical support (reduced gadget form)."""
+def _gadget_shape(
+    diagram: ZXDiagram, leaf: int
+) -> Optional[Tuple[int, FrozenSet[int]]]:
+    """``(axis, support)`` if ``leaf`` hangs off a fusable phase gadget.
+
+    As a side effect, an axis phase of pi is normalized into the leaf
+    (negating its phase) so that equal-support gadgets always fuse by
+    adding leaf phases.
+    """
+    if not _is_gadget_leaf(diagram, leaf):
+        return None
+    (axis,) = diagram.neighbor_view(leaf)
+    if not _all_hadamard(diagram, axis):
+        return None
+    if not _stored_pauli(diagram.phase(axis)):
+        return None
+    support = frozenset(diagram.neighbor_view(axis)) - {leaf}
+    if any(diagram.is_boundary(s) for s in support):
+        return None
+    if diagram.phase(axis) == _ONE:
+        diagram.set_phase(axis, _ZERO)
+        diagram.set_phase(leaf, negate_phase(diagram.phase(leaf)))
+    return axis, support
+
+
+def gadget_fuse_step(
+    diagram: ZXDiagram, keep_leaf: int, merge_axis: int, merge_leaf: int
+) -> None:
+    """Fuse gadget ``(merge_axis, merge_leaf)`` into the one at ``keep_leaf``."""
+    diagram.add_to_phase(keep_leaf, diagram.phase(merge_leaf))
+    diagram.remove_vertex(merge_leaf)
+    diagram.remove_vertex(merge_axis)
+
+
+def gadget_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
+    """Fuse phase gadgets with identical support (reduced gadget form).
+
+    Legacy rescan driver (the incremental engine lives in
+    :mod:`repro.zx.worklist`).
+    """
     applied = 0
     gadgets: Dict[FrozenSet[int], Tuple[int, int]] = {}
     for leaf in list(diagram.vertices()):
-        if leaf not in diagram._types or not _is_gadget_leaf(diagram, leaf):
+        _check_deadline(deadline)
+        if leaf not in diagram._types:
             continue
-        (axis,) = diagram.neighbors(leaf)
-        if not _all_hadamard(diagram, axis):
+        shape = _gadget_shape(diagram, leaf)
+        if shape is None:
             continue
-        if not is_pauli_phase(diagram.phase(axis)):
-            continue
-        support = frozenset(diagram.neighbors(axis)) - {leaf}
-        if any(diagram.is_boundary(s) for s in support):
-            continue
-        # Normalize an axis phase of pi into the leaf (negating its phase).
-        if normalize_phase(diagram.phase(axis)) == _ONE:
-            diagram.set_phase(axis, _ZERO)
-            diagram.set_phase(leaf, negate_phase(diagram.phase(leaf)))
+        axis, support = shape
         if support in gadgets:
             other_axis, other_leaf = gadgets[support]
-            diagram.add_to_phase(other_leaf, diagram.phase(leaf))
-            diagram.remove_vertex(leaf)
-            diagram.remove_vertex(axis)
+            gadget_fuse_step(diagram, other_leaf, axis, leaf)
             applied += 1
         else:
             gadgets[support] = (axis, leaf)
+    if counters is not None and applied:
+        counters.count("zx.gadget.matches", applied)
+        counters.count("zx.gadget.rewrites", applied)
     return applied
 
 
 # ---------------------------------------------------------------------------
 # pipelines
 # ---------------------------------------------------------------------------
-def interior_clifford_simp(diagram: ZXDiagram, deadline=None) -> int:
+def interior_clifford_simp(
+    diagram: ZXDiagram, deadline=None, incremental: bool = True, counters=None
+) -> int:
     """Spider fusion + identity + pivoting + local complementation loop."""
+    if incremental:
+        from repro.zx.worklist import interior_clifford_simp_incremental
+
+        return interior_clifford_simp_incremental(
+            diagram, deadline=deadline, counters=counters
+        )
     total = 0
     to_graph_like(diagram)
     while True:
-        applied = id_simp(diagram, deadline)
-        applied += pivot_simp(diagram, deadline)
-        applied += lcomp_simp(diagram, deadline)
+        applied = id_simp(diagram, deadline, counters)
+        applied += pivot_simp(diagram, deadline, counters)
+        applied += lcomp_simp(diagram, deadline, counters)
         total += applied
         if not applied:
             return total
 
 
-def clifford_simp(diagram: ZXDiagram, deadline=None) -> int:
+def clifford_simp(
+    diagram: ZXDiagram, deadline=None, incremental: bool = True, counters=None
+) -> int:
     """Interior Clifford simplification plus boundary pivots."""
+    if incremental:
+        from repro.zx.worklist import clifford_simp_incremental
+
+        return clifford_simp_incremental(
+            diagram, deadline=deadline, counters=counters
+        )
     total = 0
     while True:
-        applied = interior_clifford_simp(diagram, deadline)
-        applied += pivot_boundary_simp(diagram, deadline)
+        applied = interior_clifford_simp(
+            diagram, deadline, incremental=False, counters=counters
+        )
+        applied += pivot_boundary_simp(diagram, deadline, counters)
         total += applied
         if not applied:
             return total
 
 
-def full_reduce(diagram: ZXDiagram, max_rounds: int = 10_000, deadline=None) -> int:
+def full_reduce(
+    diagram: ZXDiagram,
+    max_rounds: int = 10_000,
+    deadline=None,
+    incremental: bool = True,
+    counters=None,
+) -> int:
     """The full simplification strategy (PyZX's ``full_reduce``).
 
     Returns the total number of rewrite applications.  Termination is
     guaranteed because every constituent strictly reduces a well-founded
     measure; ``max_rounds`` is a safety backstop only.
+
+    ``incremental`` selects the worklist engine of
+    :mod:`repro.zx.worklist` (the default); ``False`` runs the legacy
+    rescan-to-fixpoint drivers in this module (CLI ``--legacy-zx-simp``).
+    ``counters``, when given, is a :class:`repro.perf.PerfCounters`-style
+    object that receives per-rule ``zx.<rule>.matches`` /
+    ``zx.<rule>.rewrites`` counts plus ``zx.rounds``.
     """
-    total = interior_clifford_simp(diagram, deadline)
-    total += pivot_gadget_simp(diagram, deadline)
+    if incremental:
+        from repro.zx.worklist import full_reduce_incremental
+
+        return full_reduce_incremental(
+            diagram, max_rounds=max_rounds, deadline=deadline,
+            counters=counters,
+        )
+    total = interior_clifford_simp(
+        diagram, deadline, incremental=False, counters=counters
+    )
+    total += pivot_gadget_simp(diagram, deadline, counters)
+    rounds = 0
     for _ in range(max_rounds):
-        applied = clifford_simp(diagram, deadline)
-        applied += gadget_simp(diagram)
-        applied += interior_clifford_simp(diagram, deadline)
-        applied += pivot_gadget_simp(diagram, deadline)
+        rounds += 1
+        applied = clifford_simp(
+            diagram, deadline, incremental=False, counters=counters
+        )
+        applied += gadget_simp(diagram, deadline, counters)
+        applied += interior_clifford_simp(
+            diagram, deadline, incremental=False, counters=counters
+        )
+        applied += pivot_gadget_simp(diagram, deadline, counters)
         total += applied
         if not applied:
             break
+    if counters is not None:
+        counters.count("zx.rounds", rounds)
     return total
 
 

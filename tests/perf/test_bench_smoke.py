@@ -1,14 +1,15 @@
-"""Tier-1 smoke benchmark for the DD fast-path kernels.
+"""Tier-1 smoke benchmarks for the DD fast-path kernels and ZX engines.
 
-Marked ``bench_smoke`` so it can be selected alone::
+Marked ``bench_smoke`` so they can be selected alone::
 
     PYTHONPATH=src python -m pytest -m bench_smoke -q
 
-It is deliberately tiny (well under 5 seconds) — the full baseline
-comparison lives in ``benchmarks/bench_dd_kernels.py``, which writes
-``BENCH_dd_kernels.json``.  Here we only guard the invariants the
-benchmark relies on: the direct and legacy kernels agree on a compiled
-pair, and the direct path stays fast enough to run in tier-1.
+They are deliberately tiny (well under 5 seconds) — the full baseline
+comparisons live in ``benchmarks/bench_dd_kernels.py`` and
+``benchmarks/bench_zx_simplify.py``, which write
+``BENCH_dd_kernels.json`` / ``BENCH_zx_simplify.json``.  Here we only
+guard the invariants the benchmarks rely on: the fast and legacy paths
+agree on a small pair, and the fast paths stay fast enough for tier-1.
 """
 
 from __future__ import annotations
@@ -62,3 +63,33 @@ def test_dd_kernel_smoke_detects_error():
     config = Configuration(strategy="alternating", seed=0)
     result = EquivalenceCheckingManager(original, broken, config).run()
     assert result.equivalence is Equivalence.NOT_EQUIVALENT
+
+
+@pytest.mark.bench_smoke
+def test_zx_simplify_smoke():
+    """Incremental and legacy ZX engines agree end-to-end and stay fast."""
+    from repro.bench.algorithms import qft
+
+    original = qft(5)
+
+    verdicts = {}
+    spiders = {}
+    elapsed = {}
+    for label, incremental in (("incremental", True), ("legacy", False)):
+        config = Configuration(
+            strategy="zx", seed=0, incremental_zx=incremental
+        )
+        start = time.perf_counter()
+        result = EquivalenceCheckingManager(original, original, config).run()
+        elapsed[label] = time.perf_counter() - start
+        verdicts[label] = result.equivalence
+        spiders[label] = result.statistics["spiders_remaining"]
+        assert result.equivalence in POSITIVE, label
+        assert result.statistics["zx_engine"] == label
+        counters = result.statistics["perf"]["counters"]
+        assert counters.get("zx.rounds", 0) >= 1, label
+
+    assert verdicts["incremental"] == verdicts["legacy"]
+    assert spiders["incremental"] == spiders["legacy"] == 0
+    # Generous bound: this pair takes ~0.05 s; 5 s means something broke.
+    assert elapsed["incremental"] < 5.0

@@ -1,0 +1,217 @@
+"""Tests for the incremental worklist engine (`repro.zx.worklist`).
+
+The engine shares every rule step and match predicate with the legacy
+rescan drivers — these tests pin down the contract that only the
+*scheduling* differs: on random Clifford+T verification instances
+(equivalent pairs, one-gate-missing pairs, flipped-CNOT pairs) both
+engines must reach final diagrams with equal spider and edge counts
+that are tensor-proportional, and the :class:`DirtyTracker` candidate
+indexes must always mirror the live diagram.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.errors import flip_random_cnot, remove_random_gate
+from repro.circuit import QuantumCircuit
+from repro.zx import (
+    circuit_to_zx,
+    diagram_to_matrix,
+    diagrams_proportional,
+    full_reduce,
+    to_graph_like,
+)
+from repro.zx.diagram import EdgeType, VertexType
+from repro.zx.worklist import RULES, DirtyTracker
+from tests.conftest import random_circuit
+
+
+def _composed(circuit1, circuit2):
+    return circuit_to_zx(circuit1).adjoint().compose(circuit_to_zx(circuit2))
+
+
+def _reduce_both(circuit1, circuit2):
+    """Run both engines on the same composed pair; return the diagrams."""
+    legacy = _composed(circuit1, circuit2)
+    incremental = legacy.copy()
+    full_reduce(legacy, incremental=False)
+    full_reduce(incremental, incremental=True)
+    return legacy, incremental
+
+
+def _variant(circuit, kind, seed):
+    if kind == "equivalent":
+        return circuit
+    if kind == "gate_missing":
+        return remove_random_gate(circuit, seed=seed)
+    if kind == "flipped_cnot":
+        return flip_random_cnot(circuit, seed=seed)
+    raise ValueError(kind)
+
+
+class TestEngineAgreement:
+    """Equal final sizes on random Clifford+T verification instances."""
+
+    @pytest.mark.parametrize("kind", [
+        "equivalent", "gate_missing", "flipped_cnot",
+    ])
+    @pytest.mark.parametrize("num_qubits", [4, 6])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_equal_final_counts(self, kind, num_qubits, seed):
+        circuit = random_circuit(
+            num_qubits, 6 * num_qubits, seed=seed, gate_set="clifford_t"
+        )
+        other = _variant(circuit, kind, seed)
+        legacy, incremental = _reduce_both(circuit, other)
+        assert legacy.num_spiders == incremental.num_spiders
+        assert legacy.num_edges == incremental.num_edges
+        if kind == "equivalent":
+            assert incremental.is_identity_diagram()
+
+    @pytest.mark.parametrize("kind", [
+        "equivalent", "gate_missing", "flipped_cnot",
+    ])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tensor_proportional(self, kind, seed):
+        """At 3 qubits the dense semantics are cheap enough to compare."""
+        circuit = random_circuit(3, 18, seed=seed, gate_set="clifford_t")
+        other = _variant(circuit, kind, seed)
+        legacy, incremental = _reduce_both(circuit, other)
+        assert legacy.num_spiders == incremental.num_spiders
+        assert diagrams_proportional(
+            diagram_to_matrix(legacy), diagram_to_matrix(incremental)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_equal_counts_property(self, seed):
+        circuit = random_circuit(4, 24, seed=seed, gate_set="clifford_t")
+        legacy, incremental = _reduce_both(circuit, circuit)
+        assert legacy.num_spiders == incremental.num_spiders
+        assert legacy.num_edges == incremental.num_edges
+
+    def test_incremental_preserves_semantics_vs_input(self):
+        circuit = random_circuit(3, 20, seed=11, gate_set="clifford_t")
+        diagram = _composed(circuit, circuit)
+        before = diagram_to_matrix(diagram)
+        full_reduce(diagram, incremental=True)
+        assert diagrams_proportional(diagram_to_matrix(diagram), before)
+
+    def test_tracker_detached_after_reduce(self):
+        """full_reduce must not leave its tracker attached (copy/re-reduce)."""
+        circuit = random_circuit(3, 10, seed=0, gate_set="clifford_t")
+        diagram = _composed(circuit, circuit)
+        full_reduce(diagram, incremental=True)
+        assert diagram._tracker is None
+        # a second reduction attaches a fresh tracker without complaint
+        assert full_reduce(diagram, incremental=True) == 0
+
+
+def _recomputed_indexes(diagram):
+    """Phase indexes rebuilt from scratch — the tracker's invariant."""
+    pauli, clifford = set(), set()
+    for vertex in diagram.vertices():
+        if diagram.vertex_type(vertex) is not VertexType.Z:
+            continue
+        phase = diagram.phase(vertex)
+        if phase == 0 or phase == 1:
+            pauli.add(vertex)
+        elif phase == Fraction(1, 2) or phase == Fraction(3, 2):
+            clifford.add(vertex)
+    return pauli, clifford
+
+
+class TestDirtyTracker:
+    def _tracked_diagram(self, seed=0):
+        circuit = random_circuit(3, 15, seed=seed, gate_set="clifford_t")
+        diagram = to_graph_like(_composed(circuit, circuit))
+        tracker = DirtyTracker(diagram)
+        diagram.attach_tracker(tracker)
+        return diagram, tracker
+
+    def test_phase_indexes_mirror_diagram(self):
+        diagram, tracker = self._tracked_diagram()
+        pauli, clifford = _recomputed_indexes(diagram)
+        assert tracker.pauli_spiders == pauli
+        assert tracker.clifford_spiders == clifford
+
+    def test_phase_indexes_track_mutations(self):
+        diagram, tracker = self._tracked_diagram()
+        spiders = [
+            v for v in diagram.vertices() if not diagram.is_boundary(v)
+        ]
+        diagram.set_phase(spiders[0], Fraction(1, 2))
+        diagram.set_phase(spiders[1], Fraction(1, 4))
+        diagram.set_phase(spiders[2], Fraction(1))
+        diagram.remove_vertex(spiders[3])
+        vertex = diagram.add_vertex(VertexType.Z, Fraction(3, 2))
+        diagram.connect(vertex, spiders[0], EdgeType.HADAMARD)
+        pauli, clifford = _recomputed_indexes(diagram)
+        assert tracker.pauli_spiders == pauli
+        assert tracker.clifford_spiders == clifford
+
+    def test_mutations_dirty_every_rule(self):
+        diagram, tracker = self._tracked_diagram()
+        for rule in RULES:
+            tracker.drain(rule)
+            assert not tracker.pending(rule)
+        spiders = [
+            v for v in diagram.vertices() if not diagram.is_boundary(v)
+        ]
+        diagram.add_to_phase(spiders[0], Fraction(1, 2))
+        for rule in RULES:
+            assert tracker.pending(rule)
+
+    def test_drain_includes_neighbors_of_dirty(self):
+        diagram, tracker = self._tracked_diagram()
+        for rule in RULES:
+            tracker.drain(rule)
+        spiders = [
+            v for v in diagram.vertices() if not diagram.is_boundary(v)
+        ]
+        diagram.set_phase(spiders[0], Fraction(1, 4))
+        candidates = tracker.drain("lcomp")
+        assert spiders[0] in candidates
+        assert set(diagram.neighbor_view(spiders[0])) <= set(candidates)
+
+    def test_removed_vertex_dirties_former_neighbors(self):
+        diagram, tracker = self._tracked_diagram()
+        for rule in RULES:
+            tracker.drain(rule)
+        victim = next(
+            v for v in diagram.vertices()
+            if not diagram.is_boundary(v) and diagram.degree(v) > 0
+        )
+        former_neighbors = set(diagram.neighbor_view(victim))
+        diagram.remove_vertex(victim)
+        candidates = set(tracker.drain("id"))
+        assert victim not in candidates
+        assert former_neighbors <= candidates
+
+    def test_single_tracker_enforced(self):
+        diagram, tracker = self._tracked_diagram()
+        with pytest.raises(ValueError):
+            diagram.attach_tracker(DirtyTracker(diagram))
+        diagram.detach_tracker()
+        diagram.attach_tracker(DirtyTracker(diagram))
+
+
+class TestEngineAgreementLargerCircuit:
+    def test_mixed_gate_set_agreement(self):
+        """Non-Clifford phases exercise the gadget machinery in both."""
+        circuit = random_circuit(4, 30, seed=3, gate_set="mixed")
+        legacy, incremental = _reduce_both(circuit, circuit)
+        assert legacy.num_spiders == incremental.num_spiders
+        assert legacy.num_edges == incremental.num_edges
+        assert incremental.is_identity_diagram()
+
+    def test_unequal_pair_stays_unequal(self):
+        circuit = random_circuit(4, 30, seed=5, gate_set="clifford_t")
+        broken_ops = list(circuit.operations)
+        del broken_ops[len(broken_ops) // 2]
+        broken = QuantumCircuit(4, operations=broken_ops)
+        legacy, incremental = _reduce_both(circuit, broken)
+        assert legacy.num_spiders == incremental.num_spiders
+        assert not incremental.is_identity_diagram()

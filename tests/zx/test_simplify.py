@@ -134,6 +134,23 @@ class TestFullReduce:
         with pytest.raises(SimplificationTimeout):
             full_reduce(diagram, deadline=time.monotonic() - 1.0)
 
+    def test_legacy_deadline_raises(self):
+        circuit = random_circuit(5, 200, seed=1, gate_set="mixed")
+        diagram = (
+            circuit_to_zx(circuit).adjoint().compose(circuit_to_zx(circuit))
+        )
+        with pytest.raises(SimplificationTimeout):
+            full_reduce(
+                diagram, deadline=time.monotonic() - 1.0, incremental=False
+            )
+
+    def test_gadget_simp_deadline_raises(self):
+        """gadget_simp honours the deadline even with no fusable gadget."""
+        circuit = QuantumCircuit(2).rzz(0.4, 0, 1).h(0).h(0).rzz(0.3, 0, 1)
+        diagram = to_graph_like(circuit_to_zx(circuit))
+        with pytest.raises(SimplificationTimeout):
+            gadget_simp(diagram, deadline=time.monotonic() - 1.0)
+
     def test_error_injected_does_not_reduce_to_identity(self):
         circuit = random_circuit(4, 30, seed=5, gate_set="mixed")
         broken_ops = list(circuit.operations)
