@@ -13,9 +13,21 @@ Python vs. optimized C++/compiled Python on the authors' machine); the
 reproduced signal is the *relative* behaviour across benchmark families
 and configurations (see EXPERIMENTS.md).
 
+Robustness (see docs/architecture.md, "Robustness architecture"):
+``--isolate`` runs every cell in a sandboxed subprocess with a hard
+SIGKILL timeout and optional ``--memory-limit``, so a non-cooperative
+hang, memory balloon or crash in one cell cannot take down the batch;
+``--journal PATH`` checkpoints every completed cell to a JSONL file and
+``--resume`` restarts an interrupted run from the last completed cell.
+
 Run it as a module::
 
-    python -m repro.bench.study --use-case compiled --scale small
+    python -m repro.bench.study --use-case compiled --scale small \
+        --isolate --journal table1.jsonl
+
+    # after a crash / kill:
+    python -m repro.bench.study --use-case compiled --scale small \
+        --isolate --journal table1.jsonl --resume
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from repro.bench.suite import (
 from repro.ec.configuration import Configuration
 from repro.ec.manager import EquivalenceCheckingManager
 from repro.ec.results import Equivalence
+from repro.harness.journal import Journal
 
 #: Expected verdict polarity per configuration.
 _EXPECTED = {
@@ -43,25 +56,74 @@ _EXPECTED = {
     "flipped_cnot": False,
 }
 
+#: Compact cell codes for degraded (non-timeout) failures.
+_FAILURE_CODES = {
+    "out_of_memory": "oom",
+    "crashed": "crash",
+    "worker_lost": "lost",
+    "invalid_input": "inval",
+    "check_error": "err",
+}
+
 
 @dataclass
 class CellResult:
-    """One method on one instance/configuration."""
+    """One method on one instance/configuration.
+
+    ``timed_out`` is a ``TIMEOUT`` verdict; ``overrun`` flags the silent
+    variant — the check *returned* a verdict but its wall time exceeded
+    the budget (a cooperative deadline that fired late, or isolation
+    overhead).  Both render as ``>T``: a cell that blew its budget must
+    never masquerade as a normal runtime.  ``failure`` is the
+    :mod:`repro.errors` taxonomy kind for degraded cells, ``cached``
+    marks cells restored from a resume journal.
+    """
 
     seconds: float
     verdict: Equivalence
     timed_out: bool
     correct: Optional[bool]  # None when the method yields no information
+    overrun: bool = False
+    failure: Optional[str] = None
+    cached: bool = False
 
     def render(self, timeout: Optional[float]) -> str:
-        if self.timed_out:
-            return f">{timeout:g}"
+        if self.timed_out or self.overrun:
+            return f">{timeout:g}" if timeout is not None else "hung"
+        if self.failure is not None:
+            return _FAILURE_CODES.get(self.failure, "err")
         mark = ""
         if self.correct is False:
             mark = "!"
         elif self.correct is None:
             mark = "?"
         return f"{self.seconds:.2f}{mark}"
+
+    def to_record(self) -> Dict[str, object]:
+        """JSONL journal payload for this cell."""
+        return {
+            "seconds": self.seconds,
+            "verdict": self.verdict.value,
+            "timed_out": self.timed_out,
+            "correct": self.correct,
+            "overrun": self.overrun,
+            "failure": self.failure,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "CellResult":
+        """Rebuild a cell checkpointed with :meth:`to_record`."""
+        correct = record.get("correct")
+        failure = record.get("failure")
+        return cls(
+            float(record.get("seconds", 0.0)),
+            Equivalence(record["verdict"]),
+            bool(record.get("timed_out")),
+            None if correct is None else bool(correct),
+            overrun=bool(record.get("overrun")),
+            failure=None if failure is None else str(failure),
+            cached=True,
+        )
 
 
 @dataclass
@@ -87,32 +149,84 @@ def _judge(verdict: Equivalence, expect_equivalent: bool) -> Optional[bool]:
     return positive == expect_equivalent
 
 
+def _cell_key(instance: BenchmarkInstance, config_name: str, method: str) -> str:
+    """Stable journal key of one Table-1 cell."""
+    return f"{instance.use_case}:{instance.name}:{config_name}:{method}"
+
+
 def run_instance(
     instance: BenchmarkInstance,
     timeout: Optional[float] = 60.0,
     seed: int = 0,
+    *,
+    isolate: bool = False,
+    memory_limit_mb: Optional[int] = None,
+    retries: int = 1,
+    journal: Optional[Journal] = None,
 ) -> TableRow:
-    """Run both methods on all three configurations of one instance."""
+    """Run both methods on all three configurations of one instance.
+
+    With ``isolate`` every cell runs in a sandboxed subprocess via
+    :func:`repro.harness.run_check` (hard SIGKILL timeout, optional
+    address-space limit, transient-failure retries); otherwise the check
+    runs in-process under the manager's graceful-degradation path.
+    Either way a failing cell yields a degraded :class:`CellResult`, and
+    the remaining cells still run.  With ``journal``, completed cells
+    are checkpointed immediately and previously journaled cells are
+    restored instead of re-run.
+    """
     cells: Dict[str, CellResult] = {}
     for config_name in CONFIGURATIONS:
         variant = instance.variants[config_name]
         for method, strategy in (("dd", "combined"), ("zx", "zx")):
+            key = _cell_key(instance, config_name, method)
+            if journal is not None:
+                record = journal.get(key)
+                if record is not None:
+                    cells[f"{config_name}/{method}"] = CellResult.from_record(
+                        record
+                    )
+                    continue
             configuration = Configuration(
-                strategy=strategy, timeout=timeout, seed=seed
-            )
-            manager = EquivalenceCheckingManager(
-                instance.original, variant, configuration
+                strategy=strategy,
+                timeout=timeout,
+                seed=seed,
+                memory_limit_mb=memory_limit_mb,
+                max_retries=retries,
             )
             start = time.monotonic()
-            result = manager.run()
+            if isolate:
+                from repro.harness import run_check
+
+                result = run_check(
+                    instance.original, variant, configuration, isolate=True
+                )
+            else:
+                result = EquivalenceCheckingManager(
+                    instance.original, variant, configuration
+                ).run()
             elapsed = time.monotonic() - start
             timed_out = result.equivalence is Equivalence.TIMEOUT
-            cells[f"{config_name}/{method}"] = CellResult(
+            # A check that cooperatively missed its deadline (or burned
+            # the budget in isolation overhead) must not render as a
+            # normal runtime: flag any wall time beyond the budget.
+            overrun = (
+                not timed_out
+                and timeout is not None
+                and elapsed > timeout
+            )
+            failure = result.failure
+            cell = CellResult(
                 elapsed,
                 result.equivalence,
                 timed_out,
                 _judge(result.equivalence, _EXPECTED[config_name]),
+                overrun=overrun,
+                failure=None if failure is None else str(failure.get("kind")),
             )
+            cells[f"{config_name}/{method}"] = cell
+            if journal is not None:
+                journal.record(key, cell.to_record())
     return TableRow(
         instance.name,
         instance.use_case,
@@ -129,8 +243,18 @@ def run_table(
     timeout: Optional[float] = 60.0,
     seed: int = 0,
     verbose: bool = True,
+    *,
+    isolate: bool = False,
+    memory_limit_mb: Optional[int] = None,
+    retries: int = 1,
+    journal: Optional[Journal] = None,
 ) -> List[TableRow]:
-    """Build the benchmark suite and run the full table."""
+    """Build the benchmark suite and run the full table.
+
+    ``journal`` (a :class:`repro.harness.Journal`) makes the run
+    resumable: completed cells are checkpointed as JSONL and restored
+    instead of re-run when the journal already holds them.
+    """
     if use_case == "compiled":
         instances = compiled_benchmarks(scale=scale, seed=seed)
     elif use_case == "optimized":
@@ -139,7 +263,15 @@ def run_table(
         raise ValueError(f"unknown use case {use_case!r}")
     rows = []
     for instance in instances:
-        row = run_instance(instance, timeout=timeout, seed=seed)
+        row = run_instance(
+            instance,
+            timeout=timeout,
+            seed=seed,
+            isolate=isolate,
+            memory_limit_mb=memory_limit_mb,
+            retries=retries,
+            journal=journal,
+        )
         rows.append(row)
         if verbose:
             print(format_row(row, timeout), flush=True)
@@ -192,23 +324,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--report", default=None, metavar="PATH",
         help="additionally write the results as a Markdown report",
     )
+    parser.add_argument(
+        "--isolate", action="store_true",
+        help="run every cell in a sandboxed subprocess with a hard "
+        "(SIGKILL) timeout, so hangs/crashes cannot take down the run",
+    )
+    parser.add_argument(
+        "--memory-limit", type=int, default=None, metavar="MB",
+        help="address-space headroom per isolated cell, in MiB",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="bounded retries of transient (crash/worker-lost) failures",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint every completed cell to a JSONL journal",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore completed cells from --journal instead of re-running",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal PATH")
+
+    journal = None
+    if args.journal:
+        journal = Journal(
+            args.journal,
+            metadata={
+                "use_case": args.use_case,
+                "scale": args.scale,
+                "timeout": args.timeout,
+                "seed": args.seed,
+            },
+            resume=args.resume,
+        )
+        if args.resume and len(journal):
+            print(f"resuming: {len(journal)} cells restored from {args.journal}")
 
     use_cases = (
         ["compiled", "optimized"] if args.use_case == "both" else [args.use_case]
     )
     rows_by_use_case = {}
-    for use_case in use_cases:
-        print(f"\n=== {use_case.capitalize()} Circuits ===")
-        print(_HEADER)
-        print(_SUBHEADER)
-        rows_by_use_case[use_case] = run_table(
-            use_case=use_case,
-            scale=args.scale,
-            timeout=args.timeout,
-            seed=args.seed,
-            verbose=True,
-        )
+    try:
+        for use_case in use_cases:
+            print(f"\n=== {use_case.capitalize()} Circuits ===")
+            print(_HEADER)
+            print(_SUBHEADER)
+            rows_by_use_case[use_case] = run_table(
+                use_case=use_case,
+                scale=args.scale,
+                timeout=args.timeout,
+                seed=args.seed,
+                verbose=True,
+                isolate=args.isolate,
+                memory_limit_mb=args.memory_limit,
+                retries=args.retries,
+                journal=journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     if args.report:
         from repro.bench.report import write_report
 
@@ -223,8 +401,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"\nreport written to {path}")
     print(
-        "\nCells: seconds per check; '>T' timeout, '!' wrong verdict, "
-        "'?' no information (ZX cannot prove non-equivalence)."
+        "\nCells: seconds per check; '>T' timeout or budget overrun, "
+        "'!' wrong verdict, '?' no information (ZX cannot prove "
+        "non-equivalence); 'oom'/'crash'/'lost'/'inval' degraded failures."
     )
     return 0
 

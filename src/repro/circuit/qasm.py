@@ -19,14 +19,65 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Operation
 
 
 class QasmError(ValueError):
-    """Raised on malformed OpenQASM input."""
+    """Raised on malformed OpenQASM input.
+
+    When the error location is known, ``line`` and ``column`` are
+    1-based source coordinates, ``source_line`` is the offending line of
+    the input, and the rendered message points a caret at the column::
+
+        line 3, column 9: unknown register 'r'
+          cx q[0],r[1];
+                  ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        source_line: Optional[str] = None,
+    ) -> None:
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+        if line is not None and column is not None:
+            rendered = f"line {line}, column {column}: {message}"
+            if source_line is not None:
+                rendered += f"\n  {source_line}\n  {' ' * (column - 1)}^"
+        else:
+            rendered = message
+        super().__init__(rendered)
+
+    @classmethod
+    def at(cls, message: str, source: str, offset: int) -> "QasmError":
+        """Build a located error from a character offset into ``source``."""
+        offset = max(0, min(offset, len(source)))
+        line_start = source.rfind("\n", 0, offset) + 1
+        line_end = source.find("\n", offset)
+        if line_end == -1:
+            line_end = len(source)
+        return cls(
+            message,
+            line=source.count("\n", 0, offset) + 1,
+            column=offset - line_start + 1,
+            source_line=source[line_start:line_end],
+        )
+
+
+class Token(NamedTuple):
+    """One lexed token plus its character offset into the source."""
+
+    kind: str
+    text: str
+    pos: int
 
 
 # ---------------------------------------------------------------------------
@@ -46,18 +97,20 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> List[Tuple[str, str]]:
-    tokens: List[Tuple[str, str]] = []
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise QasmError(f"unexpected character {text[pos]!r} at offset {pos}")
+            raise QasmError.at(
+                f"unexpected character {text[pos]!r}", text, pos
+            )
         kind = match.lastgroup
         if kind not in ("WS", "COMMENT"):
-            tokens.append((kind, match.group()))
+            tokens.append(Token(kind, match.group(), pos))
         pos = match.end()
-    tokens.append(("EOF", ""))
+    tokens.append(Token("EOF", "", len(text)))
     return tokens
 
 
@@ -78,35 +131,52 @@ _FUNCTIONS: Dict[str, Callable[[float], float]] = {
 
 
 class _Parser:
-    """Recursive-descent parser over the token stream."""
+    """Recursive-descent parser over the token stream.
 
-    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+    ``source`` is the original program text; it turns every parse error
+    into a located :class:`QasmError` (line, column, offending line).
+    """
+
+    def __init__(self, tokens: List[Token], source: str = "") -> None:
         self._tokens = tokens
         self._index = 0
+        self._source = source
 
     # -- token helpers --------------------------------------------------
-    def peek(self) -> Tuple[str, str]:
+    def peek(self) -> Token:
         return self._tokens[self._index]
 
-    def next(self) -> Tuple[str, str]:
+    def next(self) -> Token:
         token = self._tokens[self._index]
         self._index += 1
         return token
 
+    def error(self, message: str, token: Optional[Token] = None) -> QasmError:
+        """A located error at ``token`` (default: the upcoming token)."""
+        if token is None:
+            token = self.peek()
+        return QasmError.at(message, self._source, token.pos)
+
     def expect(self, value: str) -> str:
-        kind, text = self.next()
-        if text != value:
-            raise QasmError(f"expected {value!r}, got {text!r}")
-        return text
+        token = self.next()
+        if token.text != value:
+            raise self.error(
+                f"expected {value!r}, got {token.text or 'end of input'!r}",
+                token,
+            )
+        return token.text
 
     def expect_kind(self, kind: str) -> str:
-        actual, text = self.next()
-        if actual != kind:
-            raise QasmError(f"expected {kind}, got {text!r}")
-        return text
+        token = self.next()
+        if token.kind != kind:
+            raise self.error(
+                f"expected {kind}, got {token.text or 'end of input'!r}",
+                token,
+            )
+        return token.text
 
     def accept(self, value: str) -> bool:
-        if self.peek()[1] == value:
+        if self.peek().text == value:
             self.next()
             return True
         return False
@@ -146,7 +216,8 @@ class _Parser:
         return base
 
     def _parse_atom(self, env: Dict[str, float]) -> float:
-        kind, text = self.next()
+        token = self.next()
+        kind, text = token.kind, token.text
         if text == "(":
             value = self.parse_expression(env)
             self.expect(")")
@@ -163,8 +234,12 @@ class _Parser:
                 return _FUNCTIONS[text](arg)
             if text in env:
                 return env[text]
-            raise QasmError(f"unknown identifier {text!r} in expression")
-        raise QasmError(f"unexpected token {text!r} in expression")
+            raise self.error(
+                f"unknown identifier {text!r} in expression", token
+            )
+        raise self.error(
+            f"unexpected token {text or 'end of input'!r} in expression", token
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -248,24 +323,28 @@ class _GateMacro:
     name: str
     params: List[str]
     qubits: List[str]
-    # body statements: (gate_name, param_token_slices, qubit_names)
-    body: List[Tuple[str, List[List[Tuple[str, str]]], List[str]]]
+    # body statements: (gate_name, param_token_slices, qubit_names, offset)
+    body: List[Tuple[str, List[List[Token]], List[str], int]]
 
 
 class _QasmReader:
     """Parses a full OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
 
     def __init__(self, text: str) -> None:
-        self._parser = _Parser(_tokenize(text))
+        self._source = text
+        self._parser = _Parser(_tokenize(text), text)
         self._registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
         self._num_qubits = 0
         self._macros: Dict[str, _GateMacro] = {}
         self._operations: List[Operation] = []
 
+    def _error(self, message: str, pos: int) -> QasmError:
+        return QasmError.at(message, self._source, pos)
+
     def run(self, name: str = "qasm") -> QuantumCircuit:
         parser = self._parser
-        while parser.peek()[0] != "EOF":
-            kind, text = parser.peek()
+        while parser.peek().kind != "EOF":
+            kind, text, _ = parser.peek()
             if text == "OPENQASM":
                 parser.next()
                 parser.expect_kind("REAL")
@@ -289,7 +368,7 @@ class _QasmReader:
             elif kind == "ID":
                 self._parse_application()
             else:
-                raise QasmError(f"unexpected token {text!r}")
+                raise parser.error(f"unexpected token {text!r}")
         circuit = QuantumCircuit(self._num_qubits, name=name)
         for op in self._operations:
             circuit.append(op)
@@ -299,13 +378,14 @@ class _QasmReader:
     def _parse_qreg(self) -> None:
         parser = self._parser
         parser.expect("qreg")
+        name_token = parser.peek()
         reg_name = parser.expect_kind("ID")
         parser.expect("[")
         size = int(parser.expect_kind("INT"))
         parser.expect("]")
         parser.expect(";")
         if reg_name in self._registers:
-            raise QasmError(f"duplicate qreg {reg_name!r}")
+            raise parser.error(f"duplicate qreg {reg_name!r}", name_token)
         self._registers[reg_name] = (self._num_qubits, size)
         self._num_qubits += size
 
@@ -320,9 +400,9 @@ class _QasmReader:
 
     def _skip_statement(self) -> None:
         parser = self._parser
-        while parser.peek()[1] != ";":
-            if parser.peek()[0] == "EOF":
-                raise QasmError("unterminated statement")
+        while parser.peek().text != ";":
+            if parser.peek().kind == "EOF":
+                raise parser.error("unterminated statement")
             parser.next()
         parser.expect(";")
 
@@ -342,13 +422,14 @@ class _QasmReader:
         while parser.accept(","):
             qubits.append(parser.expect_kind("ID"))
         parser.expect("{")
-        body: List[Tuple[str, List[List[Tuple[str, str]]], List[str]]] = []
+        body: List[Tuple[str, List[List[Token]], List[str], int]] = []
         while not parser.accept("}"):
-            if parser.peek()[1] == "barrier":
+            if parser.peek().text == "barrier":
                 self._skip_statement()
                 continue
+            inner_token = parser.peek()
             inner_name = parser.expect_kind("ID")
-            param_slices: List[List[Tuple[str, str]]] = []
+            param_slices: List[List[Token]] = []
             if parser.accept("("):
                 if not parser.accept(")"):
                     param_slices.append(self._collect_expression_tokens())
@@ -359,18 +440,18 @@ class _QasmReader:
             while parser.accept(","):
                 args.append(parser.expect_kind("ID"))
             parser.expect(";")
-            body.append((inner_name, param_slices, args))
+            body.append((inner_name, param_slices, args, inner_token.pos))
         self._macros[gate_name] = _GateMacro(gate_name, params, qubits, body)
 
-    def _collect_expression_tokens(self) -> List[Tuple[str, str]]:
+    def _collect_expression_tokens(self) -> List[Token]:
         """Grab raw tokens of one expression up to an unnested ',' or ')'."""
         parser = self._parser
         depth = 0
-        tokens: List[Tuple[str, str]] = []
+        tokens: List[Token] = []
         while True:
-            kind, text = parser.peek()
+            kind, text, pos = parser.peek()
             if kind == "EOF":
-                raise QasmError("unterminated expression")
+                raise parser.error("unterminated expression")
             if depth == 0 and text in (",", ")"):
                 break
             if text == "(":
@@ -378,12 +459,13 @@ class _QasmReader:
             elif text == ")":
                 depth -= 1
             tokens.append(parser.next())
-        tokens.append(("EOF", ""))
+        tokens.append(Token("EOF", "", parser.peek().pos))
         return tokens
 
     # -- applications ------------------------------------------------------
     def _parse_application(self) -> None:
         parser = self._parser
+        gate_token = parser.peek()
         gate_name = parser.expect_kind("ID")
         params: List[float] = []
         if parser.accept("("):
@@ -396,48 +478,66 @@ class _QasmReader:
         while parser.accept(","):
             arguments.append(self._parse_argument())
         parser.expect(";")
-        self._emit(gate_name, params, arguments)
+        self._emit(gate_name, params, arguments, gate_token.pos)
 
     def _parse_argument(self) -> List[int]:
         """A register or indexed qubit; returns the list of qubit indices."""
         parser = self._parser
+        name_token = parser.peek()
         reg_name = parser.expect_kind("ID")
         if reg_name not in self._registers:
-            raise QasmError(f"unknown register {reg_name!r}")
+            raise parser.error(f"unknown register {reg_name!r}", name_token)
         offset, size = self._registers[reg_name]
         if parser.accept("["):
+            index_token = parser.peek()
             index = int(parser.expect_kind("INT"))
             parser.expect("]")
             if index >= size:
-                raise QasmError(f"index {index} out of range for {reg_name!r}")
+                raise parser.error(
+                    f"index {index} out of range for {reg_name!r} "
+                    f"(size {size})",
+                    index_token,
+                )
             return [offset + index]
         return [offset + i for i in range(size)]
 
     def _emit(
-        self, gate_name: str, params: List[float], arguments: List[List[int]]
+        self,
+        gate_name: str,
+        params: List[float],
+        arguments: List[List[int]],
+        pos: int,
     ) -> None:
         """Broadcast a gate application over register arguments."""
         lengths = {len(arg) for arg in arguments if len(arg) > 1}
         if len(lengths) > 1:
-            raise QasmError("mismatched register sizes in broadcast")
+            raise self._error("mismatched register sizes in broadcast", pos)
         repeat = lengths.pop() if lengths else 1
         for i in range(repeat):
             qubits = [arg[i] if len(arg) > 1 else arg[0] for arg in arguments]
-            self._emit_single(gate_name, params, qubits)
+            self._emit_single(gate_name, params, qubits, pos)
 
     def _emit_single(
-        self, gate_name: str, params: List[float], qubits: List[int]
+        self,
+        gate_name: str,
+        params: List[float],
+        qubits: List[int],
+        pos: int,
     ) -> None:
         builtin = _builtin_for(gate_name)
         if builtin is not None:
             expected = builtin.num_controls + builtin.num_targets
             if len(qubits) != expected:
-                raise QasmError(
-                    f"gate {gate_name!r} expects {expected} qubits, got {len(qubits)}"
+                raise self._error(
+                    f"gate {gate_name!r} expects {expected} qubits, "
+                    f"got {len(qubits)}",
+                    pos,
                 )
             if len(params) != builtin.num_params:
-                raise QasmError(
-                    f"gate {gate_name!r} expects {builtin.num_params} params"
+                raise self._error(
+                    f"gate {gate_name!r} expects {builtin.num_params} "
+                    f"params, got {len(params)}",
+                    pos,
                 )
             controls = tuple(qubits[: builtin.num_controls])
             targets = tuple(qubits[builtin.num_controls:])
@@ -449,19 +549,28 @@ class _QasmReader:
             return
         macro = self._macros.get(gate_name)
         if macro is None:
-            raise QasmError(f"unknown gate {gate_name!r}")
+            raise self._error(f"unknown gate {gate_name!r}", pos)
         if len(params) != len(macro.params):
-            raise QasmError(f"gate {gate_name!r} expects {len(macro.params)} params")
+            raise self._error(
+                f"gate {gate_name!r} expects {len(macro.params)} params, "
+                f"got {len(params)}",
+                pos,
+            )
         if len(qubits) != len(macro.qubits):
-            raise QasmError(f"gate {gate_name!r} expects {len(macro.qubits)} qubits")
+            raise self._error(
+                f"gate {gate_name!r} expects {len(macro.qubits)} qubits, "
+                f"got {len(qubits)}",
+                pos,
+            )
         env = dict(zip(macro.params, params))
         binding = dict(zip(macro.qubits, qubits))
-        for inner_name, param_slices, args in macro.body:
+        for inner_name, param_slices, args, inner_pos in macro.body:
             inner_params = [
-                _Parser(tokens).parse_expression(env) for tokens in param_slices
+                _Parser(tokens, self._source).parse_expression(env)
+                for tokens in param_slices
             ]
             inner_qubits = [binding[a] for a in args]
-            self._emit_single(inner_name, inner_params, inner_qubits)
+            self._emit_single(inner_name, inner_params, inner_qubits, inner_pos)
 
 
 def circuit_from_qasm(text: str, name: str = "qasm") -> QuantumCircuit:

@@ -98,11 +98,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         seed=args.seed,
         direct_application=not args.legacy_kernels,
         incremental_zx=not args.legacy_zx_simp,
+        memory_limit_mb=args.memory_limit,
+        max_retries=args.retries,
         **config_kwargs,
     )
-    result = EquivalenceCheckingManager(
-        circuit1, circuit2, configuration
-    ).run()
+    if args.isolate:
+        from repro.harness import run_check
+
+        result = run_check(circuit1, circuit2, configuration, isolate=True)
+    else:
+        result = EquivalenceCheckingManager(
+            circuit1, circuit2, configuration
+        ).run()
+    failure = result.failure
+    if failure is not None:
+        print(
+            f"check failed: {failure.get('kind')} "
+            f"({failure.get('message')})",
+            file=sys.stderr,
+        )
     print(f"{result.equivalence.value}  [{result.strategy}]  {result.time:.3f}s")
     if args.verbose:
         _print_statistics(result.statistics)
@@ -165,6 +179,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     forwarded = ["--use-case", args.use_case, "--scale", args.scale,
                  "--timeout", str(args.timeout), "--seed", str(args.seed)]
+    if args.isolate:
+        forwarded.append("--isolate")
+    if args.memory_limit is not None:
+        forwarded += ["--memory-limit", str(args.memory_limit)]
+    forwarded += ["--retries", str(args.retries)]
+    if args.journal:
+        forwarded += ["--journal", args.journal]
+    if args.resume:
+        forwarded.append("--resume")
     return study_main(forwarded)
 
 
@@ -214,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="slots per DD compute table (default: package default; "
         "0 = unbounded dict tables)",
     )
+    verify.add_argument(
+        "--isolate", action="store_true",
+        help="run the check in a sandboxed subprocess with a hard "
+        "(SIGKILL) timeout and the --memory-limit ceiling",
+    )
+    verify.add_argument(
+        "--memory-limit", type=int, default=None, metavar="MB",
+        help="address-space headroom for the isolated check, in MiB",
+    )
+    verify.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="bounded retries of transient (crash/worker-lost) failures",
+    )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=_cmd_verify)
 
@@ -242,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", default="small", choices=("small", "paper"))
     bench.add_argument("--timeout", type=float, default=60.0)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--isolate", action="store_true",
+        help="run every cell in a sandboxed subprocess (hard timeout)",
+    )
+    bench.add_argument(
+        "--memory-limit", type=int, default=None, metavar="MB",
+        help="address-space headroom per isolated cell, in MiB",
+    )
+    bench.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="bounded retries of transient failures",
+    )
+    bench.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed cells to a JSONL journal",
+    )
+    bench.add_argument(
+        "--resume", action="store_true",
+        help="restore completed cells from --journal",
+    )
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -58,6 +58,18 @@ class Configuration:
             ``False`` selects the legacy rescan-to-fixpoint drivers in
             :mod:`repro.zx.simplify` — the seed behaviour, kept for A/B
             ablation benchmarks (CLI ``--legacy-zx-simp``).
+        graceful_degradation: Catch checker failures inside
+            :meth:`EquivalenceCheckingManager.run` and degrade them into
+            a ``NO_INFORMATION`` result carrying a structured
+            ``statistics["failure"]`` record (default), instead of
+            propagating the exception.
+        memory_limit_mb: Address-space headroom in MiB for sandboxed
+            execution via :mod:`repro.harness` (None = inherit).  Only
+            enforced when the check runs isolated.
+        max_retries: Bounded retries of *transient* failures (crashed or
+            lost workers) in :func:`repro.harness.run_check`.
+        retry_backoff: Base of the exponential backoff between retries,
+            in seconds (delay = ``retry_backoff * 2**attempt``, capped).
     """
 
     strategy: str = "combined"
@@ -74,6 +86,23 @@ class Configuration:
     direct_application: bool = True
     compute_table_size: Optional[int] = DEFAULT_COMPUTE_TABLE_SIZE
     incremental_zx: bool = True
+    graceful_degradation: bool = True
+    memory_limit_mb: Optional[int] = None
+    max_retries: int = 1
+    retry_backoff: float = 0.1
+
+    @staticmethod
+    def _require_positive_number(name: str, value: object) -> None:
+        """A clear error for non-numeric or non-positive knobs."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"{name} must be a number, got {type(value).__name__} "
+                f"{value!r}"
+            )
+        if value != value:  # NaN never compares, so check explicitly
+            raise ValueError(f"{name} must be a number, got NaN")
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value!r}")
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -95,7 +124,26 @@ class Configuration:
             raise ValueError(f"unknown stimuli type {self.stimuli_type!r}")
         if self.tolerance <= 0:
             raise ValueError("tolerance must be positive")
-        if self.timeout is not None and self.timeout <= 0:
-            raise ValueError("timeout must be positive or None")
+        if self.timeout is not None:
+            self._require_positive_number("timeout", self.timeout)
         if self.compute_table_size is not None and self.compute_table_size < 1:
             raise ValueError("compute_table_size must be positive or None")
+        if self.memory_limit_mb is not None:
+            self._require_positive_number("memory_limit_mb", self.memory_limit_mb)
+            if not isinstance(self.memory_limit_mb, int):
+                raise ValueError(
+                    "memory_limit_mb must be an integer number of MiB, "
+                    f"got {self.memory_limit_mb!r}"
+                )
+        if isinstance(self.max_retries, bool) or not isinstance(
+            self.max_retries, int
+        ):
+            raise ValueError(
+                "max_retries must be an integer, got "
+                f"{type(self.max_retries).__name__} {self.max_retries!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        self._require_positive_number("retry_backoff", self.retry_backoff)

@@ -46,42 +46,72 @@ class EquivalenceCheckingManager:
         self.configuration.validate()
 
     def run(self) -> EquivalenceCheckingResult:
-        """Execute the configured strategy and return the result."""
+        """Execute the configured strategy and return the result.
+
+        With ``configuration.graceful_degradation`` (the default), a
+        failing checker never propagates an exception: the failure is
+        classified through :mod:`repro.errors` and degraded into a
+        ``NO_INFORMATION`` result whose ``statistics["failure"]`` holds
+        the structured record — one bad cell must not take down a batch.
+        """
         config = self.configuration
         start = time.monotonic()
-        deadline = (
-            start + config.timeout if config.timeout is not None else None
-        )
         try:
-            if config.strategy == "construction":
-                return ConstructionChecker(
-                    self.circuit1, self.circuit2, config
-                ).run(deadline)
-            if config.strategy == "alternating":
-                return AlternatingChecker(
-                    self.circuit1, self.circuit2, config
-                ).run(deadline)
-            if config.strategy == "simulation":
-                return simulation_check(
-                    self.circuit1, self.circuit2, config, deadline
-                )
-            if config.strategy == "zx":
-                return zx_check(self.circuit1, self.circuit2, config, deadline)
-            if config.strategy == "stabilizer":
-                return stabilizer_check(
-                    self.circuit1, self.circuit2, config, deadline
-                )
-            if config.strategy == "state":
-                return state_check(
-                    self.circuit1, self.circuit2, config, deadline
-                )
-            return self._run_combined(start, deadline)
+            return self._run_strategy(start)
         except EquivalenceCheckingTimeout:
             return EquivalenceCheckingResult(
                 Equivalence.TIMEOUT,
                 config.strategy,
                 time.monotonic() - start,
             )
+        except Exception as exc:
+            if not config.graceful_degradation:
+                raise
+            from repro.errors import classify_exception
+
+            return EquivalenceCheckingResult(
+                Equivalence.NO_INFORMATION,
+                config.strategy,
+                time.monotonic() - start,
+                {"failure": classify_exception(exc).to_dict()},
+            )
+
+    def _run_strategy(self, start: float) -> EquivalenceCheckingResult:
+        """Dispatch to the configured checker (exceptions propagate)."""
+        config = self.configuration
+        deadline = (
+            start + config.timeout if config.timeout is not None else None
+        )
+        # Fault-injection seam: repro.harness.chaos arms faults that fire
+        # here, inside the checker path, after configuration validation —
+        # where a real DD/ZX blowup would occur.  Imported lazily to keep
+        # repro.ec free of a load-time dependency on the harness layer.
+        from repro.harness import chaos
+
+        chaos.maybe_trigger()
+        if config.strategy == "construction":
+            return ConstructionChecker(
+                self.circuit1, self.circuit2, config
+            ).run(deadline)
+        if config.strategy == "alternating":
+            return AlternatingChecker(
+                self.circuit1, self.circuit2, config
+            ).run(deadline)
+        if config.strategy == "simulation":
+            return simulation_check(
+                self.circuit1, self.circuit2, config, deadline
+            )
+        if config.strategy == "zx":
+            return zx_check(self.circuit1, self.circuit2, config, deadline)
+        if config.strategy == "stabilizer":
+            return stabilizer_check(
+                self.circuit1, self.circuit2, config, deadline
+            )
+        if config.strategy == "state":
+            return state_check(
+                self.circuit1, self.circuit2, config, deadline
+            )
+        return self._run_combined(start, deadline)
 
     def _run_combined(
         self, start: float, deadline: Optional[float]

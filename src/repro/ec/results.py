@@ -51,6 +51,39 @@ class EquivalenceCheckingResult:
     time: float = 0.0
     statistics: Dict[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe view — the wire format of the isolation harness.
+
+        Statistics are coerced through :func:`repro.perf.json_safe`, so
+        the payload crossing the sandbox pipe (and landing in journals)
+        is always plain JSON, never a pickle of live checker state.
+        """
+        from repro.perf import json_safe
+
+        return {
+            "equivalence": self.equivalence.value,
+            "strategy": self.strategy,
+            "time": self.time,
+            "statistics": json_safe(self.statistics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EquivalenceCheckingResult":
+        """Reconstruct a result serialized with :meth:`to_dict`."""
+        statistics = payload.get("statistics")
+        return cls(
+            Equivalence(payload["equivalence"]),
+            str(payload.get("strategy", "")),
+            float(payload.get("time", 0.0)),
+            dict(statistics) if isinstance(statistics, dict) else {},
+        )
+
+    @property
+    def failure(self) -> Optional[Dict[str, object]]:
+        """The structured failure record, if this is a degraded result."""
+        failure = self.statistics.get("failure")
+        return failure if isinstance(failure, dict) else None
+
     @property
     def considered_equivalent(self) -> bool:
         """True for any positive verdict (incl. probably-equivalent)."""

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.ec.configuration import Configuration
+from repro.ec.dd_checker import _check_deadline
 from repro.ec.permutations import to_logical_form
 from repro.ec.results import Equivalence, EquivalenceCheckingResult
 from repro.stab.tableau import CliffordTableau, NonCliffordGateError
@@ -37,6 +38,7 @@ def stabilizer_check(
     """
     config = configuration or Configuration()
     start = time.monotonic()
+    _check_deadline(deadline)
     num_qubits = max(circuit1.num_qubits, circuit2.num_qubits)
     logical1, _ = to_logical_form(
         circuit1, num_qubits, config.elide_permutations, config.reconstruct_swaps
@@ -46,7 +48,9 @@ def stabilizer_check(
     )
     try:
         tableau1 = CliffordTableau.from_circuit(logical1)
+        _check_deadline(deadline)
         tableau2 = CliffordTableau.from_circuit(logical2)
+        _check_deadline(deadline)
     except NonCliffordGateError as reason:
         return EquivalenceCheckingResult(
             Equivalence.NO_INFORMATION,

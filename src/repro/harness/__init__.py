@@ -1,0 +1,36 @@
+"""Fault-isolated execution of equivalence checks.
+
+The harness runs a check in a sandboxed child process with a *hard*
+wall-clock timeout (SIGKILL on overrun — independent of the cooperative
+``deadline`` checks inside the checkers), an address-space limit, and
+structured serialization of the :class:`~repro.ec.results.\
+EquivalenceCheckingResult` back to the parent.  Failures surface as the
+:mod:`repro.errors` taxonomy; transient ones are retried with bounded
+exponential backoff; :func:`run_check` degrades every failure into a
+``NO_INFORMATION``/``TIMEOUT`` result so batch drivers (the Table-1
+harness) never lose the remaining cells to one bad instance.
+
+Entry points::
+
+    from repro.harness import run_check, run_check_isolated, ResourceLimits
+
+    result = run_check(c1, c2, configuration)           # never raises
+    result = run_check_isolated(c1, c2, configuration)  # raises CheckError
+"""
+
+from repro.harness.journal import Journal, JournalMismatch
+from repro.harness.sandbox import (
+    DEFAULT_GRACE_SECONDS,
+    ResourceLimits,
+    run_check,
+    run_check_isolated,
+)
+
+__all__ = [
+    "DEFAULT_GRACE_SECONDS",
+    "Journal",
+    "JournalMismatch",
+    "ResourceLimits",
+    "run_check",
+    "run_check_isolated",
+]

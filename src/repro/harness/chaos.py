@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the isolation layer.
+
+Chaos specs describe one concrete misbehaviour a checker can exhibit —
+a non-cooperative hard hang (a hot loop that never consults the
+cooperative deadline), a memory balloon, a hard crash (fatal signal,
+no Python cleanup), or a plain unhandled exception — and
+:func:`activate` arms it so the *next* checker invocation triggers it.
+The faults are injected at the strategy-dispatch seam inside
+:class:`~repro.ec.manager.EquivalenceCheckingManager`, i.e. inside the
+checker call, after configuration validation: exactly where a real DD
+or ZX blowup would occur.
+
+Everything is deterministic — no randomness, no environment probing —
+so the containment tests in ``tests/harness`` are exactly reproducible.
+The module holds process-global state on purpose: the sandbox child
+arms it after the fork, proving that the *parent* stays unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Supported fault modes.
+MODES = ("none", "hang", "memory_balloon", "crash", "exception")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One injected fault.
+
+    Attributes:
+        mode: ``"hang"`` (non-cooperative hot loop), ``"memory_balloon"``
+            (allocate until the ceiling, then :class:`MemoryError`),
+            ``"crash"`` (fatal signal — the process dies without
+            reporting), ``"exception"`` (unhandled ``RuntimeError``) or
+            ``"none"``.
+        balloon_mb: Allocation ceiling of the balloon, so an *unlimited*
+            sandbox still terminates deterministically instead of
+            swallowing the host's RAM.
+        signal_number: Signal the ``crash`` mode raises on itself.
+    """
+
+    mode: str = "none"
+    balloon_mb: int = 256
+    signal_number: int = signal.SIGSEGV
+
+    def validate(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown chaos mode {self.mode!r}")
+        if self.balloon_mb < 1:
+            raise ValueError("balloon_mb must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "balloon_mb": self.balloon_mb,
+            "signal_number": int(self.signal_number),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "ChaosSpec":
+        return ChaosSpec(
+            mode=str(payload.get("mode", "none")),
+            balloon_mb=int(payload.get("balloon_mb", 256)),
+            signal_number=int(payload.get("signal_number", signal.SIGSEGV)),
+        )
+
+
+#: The armed fault of this process (None = chaos disabled).
+_active: Optional[ChaosSpec] = None
+
+
+def activate(spec: Optional[ChaosSpec]) -> None:
+    """Arm ``spec`` for the next checker invocation in this process."""
+    global _active
+    if spec is not None:
+        spec.validate()
+    _active = spec if spec is not None and spec.mode != "none" else None
+
+
+def deactivate() -> None:
+    """Disarm any active fault (used by tests running in-process)."""
+    activate(None)
+
+
+def active_spec() -> Optional[ChaosSpec]:
+    return _active
+
+
+def maybe_trigger() -> None:
+    """Fire the armed fault, if any.  Called from inside the checker path."""
+    if _active is None:
+        return
+    trigger(_active)
+
+
+def trigger(spec: ChaosSpec) -> None:
+    """Execute one fault.  Does not return for terminal modes."""
+    if spec.mode == "none":
+        return
+    if spec.mode == "hang":
+        # A genuinely non-cooperative hot loop: no deadline checks, no
+        # sleeps, nothing the cooperative timeout machinery could catch.
+        x = 1.0
+        while True:
+            x = (x * 1.0000001) % 1e9
+    if spec.mode == "memory_balloon":
+        balloon = []
+        # 1 MiB chunks of distinct bytes defeat any allocator sharing.
+        for i in range(spec.balloon_mb):
+            balloon.append(bytearray(1024 * 1024))
+            balloon[-1][0] = i % 256
+        raise MemoryError(
+            f"chaos balloon reached its {spec.balloon_mb} MiB ceiling"
+        )
+    if spec.mode == "crash":
+        # Keep the fatal-signal traceback out of the parent's stderr —
+        # the point is an *unreported* death, not a diagnostic dump.
+        import faulthandler
+
+        faulthandler.disable()
+        os.kill(os.getpid(), spec.signal_number)
+        # A fatal signal should never return; belt-and-braces for
+        # signals a test harness might have blocked:
+        os._exit(70)
+    if spec.mode == "exception":
+        raise RuntimeError("chaos: injected checker exception")
+    raise ValueError(f"unknown chaos mode {spec.mode!r}")

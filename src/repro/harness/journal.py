@@ -1,0 +1,130 @@
+"""Resumable JSONL checkpoint journal for batch runs.
+
+The Table-1 harness writes one JSON line per completed cell, flushed and
+fsynced immediately, so a killed or crashed run loses at most the cell
+that was in flight.  On ``--resume`` the journal is replayed: completed
+cells are restored without re-running, and the header's run metadata
+(use case, scale, timeout, seed, ...) is compared against the resuming
+run so a journal is never silently reused for different parameters.
+
+A torn trailing line — the signature of a mid-write kill — is tolerated
+and counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+_MAGIC = "repro-journal"
+_VERSION = 1
+
+
+class JournalMismatch(ValueError):
+    """A resumed journal's metadata does not match the current run."""
+
+
+def _load(path: Path) -> Tuple[Dict[str, object], Dict[str, dict], int]:
+    """Replay a journal file: (metadata, key -> payload, corrupt lines)."""
+    metadata: Dict[str, object] = {}
+    completed: Dict[str, dict] = {}
+    corrupt = 0
+    with path.open() as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            if not isinstance(record, dict):
+                corrupt += 1
+                continue
+            if index == 0 and record.get("journal") == _MAGIC:
+                metadata = record.get("metadata") or {}
+                continue
+            key = record.get("key")
+            if isinstance(key, str):
+                completed[key] = record.get("payload") or {}
+            else:
+                corrupt += 1
+    return metadata, completed, corrupt
+
+
+class Journal:
+    """Append-only JSONL checkpoint store keyed by cell identifier.
+
+    Args:
+        path: Journal file location (created, or appended on resume).
+        metadata: Parameters identifying the run; written to the header
+            and checked on resume.
+        resume: Replay an existing file instead of truncating it.  A
+            missing file is not an error — the resume is simply empty.
+    """
+
+    def __init__(
+        self,
+        path,
+        metadata: Optional[Dict[str, object]] = None,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.metadata: Dict[str, object] = dict(metadata or {})
+        self.completed: Dict[str, dict] = {}
+        self.corrupt_lines = 0
+        if resume and self.path.exists():
+            existing, completed, corrupt = _load(self.path)
+            if metadata is not None and existing != self.metadata:
+                raise JournalMismatch(
+                    f"journal {self.path} was written by a run with "
+                    f"parameters {existing!r}, which do not match the "
+                    f"resuming run's {self.metadata!r}; delete the journal "
+                    "or rerun with matching parameters"
+                )
+            self.completed = completed
+            self.corrupt_lines = corrupt
+            self._handle = self.path.open("a")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w")
+            self._write_line(
+                {
+                    "journal": _MAGIC,
+                    "version": _VERSION,
+                    "metadata": self.metadata,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def _write_line(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, key: str, payload: Dict[str, object]) -> None:
+        """Checkpoint one completed cell (durable before returning)."""
+        self._write_line({"key": key, "payload": payload})
+        self.completed[key] = dict(payload)
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.completed.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,6 +7,7 @@ package snapshot only reads counters the DD package maintains anyway.
 
 from __future__ import annotations
 
+import enum
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -48,6 +49,41 @@ class PerfCounters:
         if self.counters:
             out["counters"] = dict(sorted(self.counters.items()))
         return out
+
+
+def json_safe(value: object) -> object:
+    """Coerce a statistics tree into pure-JSON primitives.
+
+    Checker statistics are mostly plain dicts already, but may carry
+    enums (verdicts), tuples (traces), numpy scalars and int-keyed dicts
+    (``residual_permutation``).  The isolation harness and the Table-1
+    journal serialize through this so the wire format is stable JSON and
+    never an opaque pickle of live checker state.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # json rejects NaN/inf depending on the consumer; keep them as
+        # strings so a pathological statistic cannot poison a journal.
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, enum.Enum):
+        return json_safe(value.value)
+    if isinstance(value, complex):
+        return {"re": value.real, "im": value.imag}
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    # numpy scalars expose item(); anything else degrades to repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
 
 
 def package_statistics(pkg: DDPackage) -> Dict[str, object]:

@@ -730,6 +730,9 @@ def full_reduce(
     object that receives per-rule ``zx.<rule>.matches`` /
     ``zx.<rule>.rewrites`` counts plus ``zx.rounds``.
     """
+    # An expired deadline must fire even when the diagram offers no
+    # matches (the per-rule checks only run inside match loops).
+    _check_deadline(deadline)
     if incremental:
         from repro.zx.worklist import full_reduce_incremental
 

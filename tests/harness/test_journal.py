@@ -1,0 +1,75 @@
+"""JSONL checkpoint journal: durability, resume, mismatch, torn writes."""
+
+import json
+
+import pytest
+
+from repro.harness.journal import Journal, JournalMismatch
+
+
+META = {"use_case": "compiled", "scale": "small", "timeout": 5.0, "seed": 0}
+
+
+class TestJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, META) as journal:
+            journal.record("a:x", {"seconds": 1.0, "verdict": "equivalent"})
+            journal.record("a:y", {"seconds": 2.0, "verdict": "timeout"})
+        with Journal(path, META, resume=True) as resumed:
+            assert len(resumed) == 2
+            assert "a:x" in resumed
+            assert resumed.get("a:y")["verdict"] == "timeout"
+            assert resumed.corrupt_lines == 0
+
+    def test_resume_missing_file_is_empty(self, tmp_path):
+        with Journal(tmp_path / "fresh.jsonl", META, resume=True) as journal:
+            assert len(journal) == 0
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, META) as journal:
+            journal.record("a", {"v": 1})
+        with Journal(path, META) as journal:
+            assert len(journal) == 0
+        with Journal(path, META, resume=True) as journal:
+            assert len(journal) == 0
+
+    def test_metadata_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Journal(path, META).close()
+        other = dict(META, timeout=60.0)
+        with pytest.raises(JournalMismatch):
+            Journal(path, other, resume=True)
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, META) as journal:
+            journal.record("done", {"seconds": 1.0})
+        # Simulate a kill mid-write: a truncated JSON line at the tail.
+        with path.open("a") as handle:
+            handle.write('{"key": "half", "payload": {"seco')
+        with Journal(path, META, resume=True) as resumed:
+            assert "done" in resumed
+            assert "half" not in resumed
+            assert resumed.corrupt_lines == 1
+
+    def test_resume_appends_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, META) as journal:
+            journal.record("first", {"v": 1})
+        with Journal(path, META, resume=True) as journal:
+            journal.record("second", {"v": 2})
+        with Journal(path, META, resume=True) as resumed:
+            assert set(resumed.completed) == {"first", "second"}
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, META) as journal:
+            journal.record("cell", {"seconds": 0.5, "correct": None})
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["journal"] == "repro-journal"
+        assert header["metadata"] == META
+        record = json.loads(lines[1])
+        assert record == {"key": "cell", "payload": {"seconds": 0.5, "correct": None}}

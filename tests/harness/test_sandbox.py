@@ -1,0 +1,263 @@
+"""Sandboxed execution: agreement with in-process runs and containment.
+
+The ``chaos``-marked tests inject deterministic faults — a
+non-cooperative hard hang, a memory balloon, a hard crash — into the
+checker path of a sandboxed child and assert the parent receives a
+*structured* failure of the right taxonomy class, proving the isolation
+layer actually contains what cooperative deadlines cannot.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.algorithms import ghz_state, qft
+from repro.bench.errors import remove_random_gate
+from repro.compile import compile_circuit, line_architecture
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.ec.results import Equivalence
+from repro.errors import (
+    CheckCrashed,
+    CheckOutOfMemory,
+    CheckTimeout,
+    CheckWorkerLost,
+    InvalidInput,
+    RetryPolicy,
+)
+from repro.harness import ResourceLimits, run_check, run_check_isolated
+from repro.harness.chaos import ChaosSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    original = ghz_state(6)
+    compiled = compile_circuit(original, line_architecture(7))
+    return original, compiled
+
+
+class TestIsolatedExecution:
+    def test_agrees_with_in_process_on_all_strategies(self, tiny_pair):
+        original, compiled = tiny_pair
+        for strategy in ("combined", "zx", "alternating", "simulation"):
+            config = Configuration(strategy=strategy, seed=0, timeout=30)
+            isolated = run_check_isolated(original, compiled, config)
+            in_process = EquivalenceCheckingManager(
+                original, compiled, config
+            ).run()
+            assert isolated.equivalence == in_process.equivalence, strategy
+            assert isolated.strategy == in_process.strategy
+
+    def test_detects_error_through_the_sandbox(self, tiny_pair):
+        original, compiled = tiny_pair
+        broken = remove_random_gate(compiled, seed=0)
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        result = run_check_isolated(original, broken, config)
+        assert result.equivalence is Equivalence.NOT_EQUIVALENT
+
+    def test_statistics_and_perf_cross_the_boundary(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="zx", seed=0, timeout=30)
+        result = run_check_isolated(original, compiled, config)
+        assert "spiders_remaining" in result.statistics
+        assert "perf" in result.statistics
+        isolation = result.statistics["isolation"]
+        assert isolation["pid"] > 0
+        assert isolation["overhead_seconds"] >= 0
+
+    def test_invalid_configuration_is_invalid_input(self, tiny_pair):
+        original, compiled = tiny_pair
+        with pytest.raises(InvalidInput):
+            run_check_isolated(
+                original, compiled, Configuration(strategy="imaginary")
+            )
+
+    def test_limits_validation(self):
+        with pytest.raises(ValueError):
+            ResourceLimits(wall_time=-1.0).validate()
+        with pytest.raises(ValueError):
+            ResourceLimits(memory_mb=0).validate()
+        with pytest.raises(ValueError):
+            ResourceLimits(memory_mb=True).validate()
+
+    def test_hard_budget_derivation(self):
+        config = Configuration(timeout=3.0)
+        assert ResourceLimits(grace=2.0).hard_budget(config) == 5.0
+        assert ResourceLimits(wall_time=1.0).hard_budget(config) == 1.0
+        assert ResourceLimits().hard_budget(Configuration()) is None
+
+
+@pytest.mark.chaos
+class TestChaosContainment:
+    def test_hard_hang_is_killed_and_reported_as_timeout(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=0.2)
+        start = time.monotonic()
+        with pytest.raises(CheckTimeout) as info:
+            run_check_isolated(
+                original,
+                compiled,
+                config,
+                limits=ResourceLimits(wall_time=1.0),
+                chaos=ChaosSpec(mode="hang"),
+            )
+        elapsed = time.monotonic() - start
+        assert info.value.diagnostics["hard"] is True
+        assert elapsed < 10.0  # killed, not waited out
+
+    def test_memory_balloon_is_contained(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckOutOfMemory):
+            run_check_isolated(
+                original,
+                compiled,
+                config,
+                limits=ResourceLimits(memory_mb=64),
+                chaos=ChaosSpec(mode="memory_balloon", balloon_mb=1024),
+            )
+
+    def test_balloon_ceiling_bounds_even_without_rlimit(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckOutOfMemory):
+            run_check_isolated(
+                original,
+                compiled,
+                config,
+                chaos=ChaosSpec(mode="memory_balloon", balloon_mb=32),
+            )
+
+    def test_hard_crash_is_classified(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckCrashed) as info:
+            run_check_isolated(
+                original, compiled, config, chaos=ChaosSpec(mode="crash")
+            )
+        assert info.value.diagnostics.get("signal_name") == "SIGSEGV"
+        assert info.value.transient
+
+    def test_external_sigkill_is_worker_lost(self, tiny_pair):
+        import signal
+
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckWorkerLost):
+            run_check_isolated(
+                original,
+                compiled,
+                config,
+                chaos=ChaosSpec(mode="crash", signal_number=signal.SIGKILL),
+            )
+
+    def test_injected_exception_round_trips_structured(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckCrashed) as info:
+            run_check_isolated(
+                original, compiled, config, chaos=ChaosSpec(mode="exception")
+            )
+        assert "chaos" in info.value.message
+
+    def test_parent_process_unaffected_by_chaos(self, tiny_pair):
+        """Chaos armed in the child must never leak into the parent."""
+        from repro.harness import chaos as chaos_module
+
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        with pytest.raises(CheckCrashed):
+            run_check_isolated(
+                original, compiled, config, chaos=ChaosSpec(mode="crash")
+            )
+        assert chaos_module.active_spec() is None
+        result = EquivalenceCheckingManager(original, compiled, config).run()
+        assert result.considered_equivalent
+
+
+class TestRunCheckDegradation:
+    def test_never_raises_and_records_failure(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        result = run_check(
+            original,
+            compiled,
+            config,
+            chaos=ChaosSpec(mode="exception"),
+            retry=RetryPolicy(max_retries=0),
+        )
+        assert result.equivalence is Equivalence.NO_INFORMATION
+        assert result.failure["kind"] == "crashed"
+
+    def test_transient_failures_retried_with_backoff(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        sleeps = []
+        result = run_check(
+            original,
+            compiled,
+            config,
+            chaos=ChaosSpec(mode="exception"),
+            retry=RetryPolicy(max_retries=2, backoff_base=0.01),
+            sleep=sleeps.append,
+        )
+        assert result.failure["diagnostics"]["attempts"] == 3
+        assert sleeps == [0.01, 0.02]
+
+    @pytest.mark.chaos
+    def test_hang_degrades_to_timeout_verdict(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(
+            strategy="combined", seed=0, timeout=0.2, max_retries=0
+        )
+        result = run_check(
+            original,
+            compiled,
+            config,
+            limits=ResourceLimits(wall_time=1.0),
+            chaos=ChaosSpec(mode="hang"),
+        )
+        assert result.equivalence is Equivalence.TIMEOUT
+        assert result.failure["kind"] == "timeout"
+        assert result.failure["diagnostics"]["hard"] is True
+
+    def test_in_process_mode_also_degrades(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+        result = run_check(
+            original,
+            compiled,
+            config,
+            isolate=False,
+            chaos=ChaosSpec(mode="exception"),
+            retry=RetryPolicy(max_retries=0),
+        )
+        assert result.equivalence is Equivalence.NO_INFORMATION
+        assert result.failure["kind"] == "crashed"
+
+    def test_success_path_unchanged(self, tiny_pair):
+        original, compiled = tiny_pair
+        config = Configuration(strategy="zx", seed=0, timeout=30)
+        result = run_check(original, compiled, config)
+        assert result.considered_equivalent
+        assert result.failure is None
+
+
+class TestVerdictAgreement:
+    """Isolated and in-process runs agree cell-for-cell (small instances)."""
+
+    def test_table1_style_cells_agree(self):
+        cases = []
+        ghz = ghz_state(5)
+        cases.append((ghz, compile_circuit(ghz, line_architecture(6))))
+        q = qft(4)
+        cases.append((q, compile_circuit(q, line_architecture(5))))
+        for original, variant in cases:
+            for strategy in ("combined", "zx"):
+                config = Configuration(strategy=strategy, seed=0, timeout=30)
+                isolated = run_check(
+                    original, variant, config, isolate=True
+                )
+                in_process = EquivalenceCheckingManager(
+                    original, variant, config
+                ).run()
+                assert isolated.equivalence == in_process.equivalence

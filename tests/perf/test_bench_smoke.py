@@ -93,3 +93,32 @@ def test_zx_simplify_smoke():
     assert spiders["incremental"] == spiders["legacy"] == 0
     # Generous bound: this pair takes ~0.05 s; 5 s means something broke.
     assert elapsed["incremental"] < 5.0
+
+
+@pytest.mark.bench_smoke
+def test_isolation_overhead_smoke():
+    """Sandboxed execution agrees with in-process and its overhead stays
+    bounded: a fork + pipe round-trip costs tens of milliseconds, not
+    multiples of the check itself."""
+    from repro.harness import run_check
+
+    original = ghz_state(6)
+    compiled = compile_circuit(original, line_architecture(8))
+    config = Configuration(strategy="combined", seed=0, timeout=30)
+
+    start = time.perf_counter()
+    in_process = EquivalenceCheckingManager(original, compiled, config).run()
+    in_process_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    isolated = run_check(original, compiled, config, isolate=True)
+    isolated_seconds = time.perf_counter() - start
+
+    assert isolated.equivalence == in_process.equivalence
+    assert isolated.failure is None
+    # Generous bound: sandbox setup is ~0.1 s on this instance.  A 10x
+    # factor plus a 2 s fixed allowance means containment went wrong
+    # (e.g. spawn instead of fork, or a serialization blowup).
+    assert isolated_seconds < in_process_seconds * 10 + 2.0
+    overhead = isolated.statistics["isolation"]["overhead_seconds"]
+    assert 0 <= overhead < 2.0
