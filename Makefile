@@ -1,0 +1,24 @@
+# Convenience entry points.  Everything runs with PYTHONPATH=src so no
+# install step is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test fuzz fuzz-smoke bench
+
+# Tier-1 gate: the full unit-test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The acceptance fuzz campaign: 300 Clifford+T pairs through the full
+# differential oracle.  Exit 0 = all checkers agreed, exit 2 = at least
+# one disagreement was shrunk and written to corpus/.
+fuzz:
+	$(PYTHON) -m repro fuzz --seed 0 --budget 300 --family clifford_t
+
+# The ~30 s seeded smoke budget that also runs inside tier-1.
+fuzz-smoke:
+	$(PYTHON) -m pytest -m fuzz_smoke -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -71,6 +71,26 @@ def optimized_pairs():
     }
 
 
+@pytest.fixture(scope="session")
+def fuzz_pairs():
+    """Labeled fuzz pairs per family (for oracle-cost benchmarks)."""
+    from repro.fuzz.generator import FAMILIES, generate_instance
+    from repro.fuzz.mutators import MutationNotApplicable
+
+    pairs = {}
+    for family in FAMILIES:
+        collected = []
+        seed = 0
+        while len(collected) < 5:
+            try:
+                collected.append(generate_instance(seed, family)[1])
+            except MutationNotApplicable:
+                pass
+            seed += 1
+        pairs[family] = collected
+    return pairs
+
+
 def error_variant(circuit, kind: str, seed: int = 0):
     if kind == "gate_missing":
         return remove_random_gate(circuit, seed=seed)

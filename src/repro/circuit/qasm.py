@@ -282,6 +282,8 @@ _BUILTINS: Dict[str, _BuiltinGate] = {
     "cz": _BuiltinGate("z", 1, 0),
     "ch": _BuiltinGate("h", 1, 0),
     "csx": _BuiltinGate("sx", 1, 0),
+    "cs": _BuiltinGate("s", 1, 0),
+    "csdg": _BuiltinGate("sdg", 1, 0),
     "crx": _BuiltinGate("rx", 1, 1),
     "cry": _BuiltinGate("ry", 1, 1),
     "crz": _BuiltinGate("rz", 1, 1),
@@ -587,6 +589,8 @@ _CONTROLLED_NAMES = {
     ("z", 1): "cz",
     ("h", 1): "ch",
     ("sx", 1): "csx",
+    ("s", 1): "cs",
+    ("sdg", 1): "csdg",
     ("rx", 1): "crx",
     ("ry", 1): "cry",
     ("rz", 1): "crz",

@@ -7,6 +7,7 @@ method merely requires a few lines of code") as a shell command::
     python -m repro compile circuit.qasm --device line:5 -o compiled.qasm
     python -m repro stats circuit.qasm
     python -m repro bench --use-case compiled --scale small
+    python -m repro fuzz --seed 0 --budget 300 --family clifford_t
 
 Because OpenQASM 2.0 has no syntax for layout metadata, ``compile`` writes
 a JSON sidecar (``<out>.layout.json``) with the initial layout and output
@@ -191,6 +192,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return study_main(forwarded)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzSettings, run_fuzz
+
+    settings = FuzzSettings(
+        seed=args.seed,
+        budget=args.budget,
+        family=args.family,
+        num_qubits=args.qubits,
+        num_gates=args.gates,
+        corpus_dir=args.corpus,
+        isolate=args.isolate,
+        check_timeout=args.timeout,
+        max_seconds=args.max_seconds,
+    )
+    outcome = run_fuzz(settings, log=print)
+    summary = outcome.describe()
+    print(
+        f"fuzz[{summary['family']}] seed={summary['seed']}: "
+        f"{summary['pairs_run']} pairs in {summary['seconds']}s, "
+        f"{summary['disagreements']} disagreement(s), "
+        f"{summary['missed_by_simulation']} missed by simulation"
+    )
+    for disagreement in outcome.disagreements:
+        print(f"  repro: {disagreement.path}")
+    return outcome.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +327,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore completed cells from --journal",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the checkers (exit 0 = all agreed, "
+        "2 = minimized repro written)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget", type=int, default=100, metavar="N",
+        help="number of labeled pairs to generate and cross-check",
+    )
+    fuzz.add_argument(
+        "--family", default="clifford_t",
+        choices=("clifford", "clifford_t", "rotations", "ancilla"),
+    )
+    fuzz.add_argument(
+        "--qubits", type=int, default=None,
+        help="fix the data-qubit count (default: sampled per family)",
+    )
+    fuzz.add_argument(
+        "--gates", type=int, default=None,
+        help="fix the base gate count (default: sampled per family)",
+    )
+    fuzz.add_argument(
+        "--corpus", default="corpus", metavar="DIR",
+        help="directory for minimized repros and the corpus journal",
+    )
+    fuzz.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-check timeout in seconds",
+    )
+    fuzz.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="wall-clock cap for the whole campaign",
+    )
+    fuzz.add_argument(
+        "--isolate", action="store_true",
+        help="run every oracle check in a sandboxed subprocess",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

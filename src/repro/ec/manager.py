@@ -14,6 +14,7 @@ early-exit behaviour the paper's setup achieves through parallelism.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional
 
@@ -75,6 +76,23 @@ class EquivalenceCheckingManager:
                 time.monotonic() - start,
                 {"failure": classify_exception(exc).to_dict()},
             )
+
+    def run_single(self, strategy: str) -> EquivalenceCheckingResult:
+        """Run exactly one named strategy, overriding the configured one.
+
+        The differential fuzzer drives the full strategy matrix through
+        this hook: the manager's configuration (timeouts, seeds, table
+        bounds) stays authoritative while the strategy choice is swapped
+        per call.  Degradation semantics are those of :meth:`run`.
+        """
+        original = self.configuration
+        override = dataclasses.replace(original, strategy=strategy)
+        override.validate()
+        self.configuration = override
+        try:
+            return self.run()
+        finally:
+            self.configuration = original
 
     def _run_strategy(self, start: float) -> EquivalenceCheckingResult:
         """Dispatch to the configured checker (exceptions propagate)."""

@@ -12,11 +12,13 @@ not proof.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from typing import Optional
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import circuit_to_qasm
 from repro.dd.gates import apply_operation_to_vector
 from repro.dd.package import DDPackage
 from repro.ec.configuration import Configuration
@@ -55,11 +57,16 @@ def simulation_check(
     )
     direct = config.direct_application
     perf = PerfCounters()
+    # Running digest over the serialized stimuli: two runs with the same
+    # seed must report byte-identical sequences (reproducibility contract,
+    # checkable across process boundaries via this statistic).
+    stimuli_digest = hashlib.sha256()
 
     def statistics(runs: int, fidelity: float) -> dict:
         return {
             "simulations_run": runs,
             "min_fidelity": fidelity,
+            "stimuli_digest": stimuli_digest.hexdigest(),
             "complex_table": pkg.complex_table.stats(),
             "perf": {**perf.as_dict(), **package_statistics(pkg)},
         }
@@ -71,6 +78,7 @@ def simulation_check(
             stimulus = generate_stimulus(
                 config.stimuli_type, num_qubits, data_qubits, rng
             )
+            stimuli_digest.update(circuit_to_qasm(stimulus).encode("utf-8"))
             prepared = prepare_stimulus_state(
                 pkg, stimulus, num_qubits, direct=direct
             )

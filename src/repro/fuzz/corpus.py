@@ -1,0 +1,101 @@
+"""Persistence of minimized repros into a ``corpus/`` seed directory.
+
+Every disagreement the fuzzer finds (after shrinking) is written as a
+self-contained repro directory::
+
+    corpus/
+      journal.jsonl                      # one JSONL entry per repro
+      clifford_t-s17-delete_gate/
+        circuit1.qasm                    # the pair, ready for
+        circuit2.qasm                    #   `python -m repro verify`
+        meta.json                        # labels, verdicts, shrink info
+
+The journal reuses the fault-isolation layer's
+:class:`repro.harness.Journal` (append-only JSONL, fsynced per entry,
+torn-line tolerant), so a killed campaign never loses already-persisted
+repros and triage tooling can replay the journal without scanning
+directories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.circuit import circuit_to_qasm
+from repro.fuzz.generator import FuzzInstance, LabeledPair
+from repro.fuzz.oracle import OracleReport
+
+#: Journal header metadata — constant so later campaigns can append.
+_JOURNAL_METADATA = {"kind": "fuzz-corpus", "format": 1}
+
+
+def repro_name(instance: FuzzInstance) -> str:
+    """Stable directory name of one repro."""
+    return f"{instance.family}-s{instance.seed}-{instance.recipe}"
+
+
+def persist_repro(
+    corpus_dir,
+    instance: FuzzInstance,
+    pair: LabeledPair,
+    report: OracleReport,
+    shrink_info: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write one minimized repro; returns its directory.
+
+    The pair's circuits land as QASM (with a layout sidecar whenever the
+    circuit carries non-trivial metadata, mirroring ``repro compile``),
+    the labels/verdicts as ``meta.json``, and a summary line is appended
+    to ``corpus/journal.jsonl``.
+    """
+    from repro.harness import Journal
+
+    corpus = Path(corpus_dir)
+    target = corpus / repro_name(instance)
+    target.mkdir(parents=True, exist_ok=True)
+    for index, circuit in enumerate((pair.circuit1, pair.circuit2), start=1):
+        path = target / f"circuit{index}.qasm"
+        path.write_text(circuit_to_qasm(circuit))
+        if circuit.initial_layout or circuit.output_permutation:
+            sidecar = Path(str(path) + ".layout.json")
+            sidecar.write_text(
+                json.dumps(
+                    {
+                        "initial_layout": circuit.initial_layout,
+                        "output_permutation": circuit.output_permutation,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+    meta: Dict[str, object] = {
+        "instance": instance.describe(),
+        "label": pair.label,
+        "witness": pair.witness,
+        "oracle": report.to_dict(),
+    }
+    if shrink_info:
+        meta["shrink"] = dict(shrink_info)
+    (target / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
+
+    journal_path = corpus / "journal.jsonl"
+    with Journal(
+        journal_path,
+        metadata=_JOURNAL_METADATA,
+        resume=journal_path.exists(),
+    ) as journal:
+        journal.record(
+            repro_name(instance),
+            {
+                "family": instance.family,
+                "seed": instance.seed,
+                "recipe": instance.recipe,
+                "label": pair.label,
+                "gates": [len(pair.circuit1), len(pair.circuit2)],
+                "qubits": pair.num_qubits,
+                "disagreements": report.disagreements,
+            },
+        )
+    return target

@@ -1,0 +1,313 @@
+"""Seeded random-instance generation for the differential fuzzer.
+
+A *family* fixes the gate alphabet and size range of the base circuits:
+
+* ``clifford`` — Clifford-only circuits (the stabilizer checker applies,
+  every strategy should be exact),
+* ``clifford_t`` — Clifford+T with dyadic phases (the paper's reversible
+  benchmarks live here),
+* ``rotations`` — parameterized rotations with arbitrary angles (the
+  compiled-circuit use-case; stresses numerical tolerances),
+* ``ancilla`` — mid-range widths where extra measurement-free ancilla
+  wires are touched through compute/uncompute sandwiches (the shape
+  routing and synthesis flows emit).
+
+An *instance* couples a base circuit with a deterministic pair recipe:
+one of the metamorphic mutators of :mod:`repro.fuzz.mutators`, or a
+``compiled`` / ``optimized`` variant produced by :mod:`repro.compile`.
+``FuzzInstance.build_pair`` is a pure function of the instance, so the
+shrinker can re-derive a *labeled* pair from any shrunk base.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.fuzz.mutators import (
+    LABEL_EQUIVALENT,
+    MUTATORS,
+    MutationNotApplicable,
+)
+
+#: The supported circuit families.
+FAMILIES = ("clifford", "clifford_t", "rotations", "ancilla")
+
+#: Pair recipes on top of the metamorphic mutators.
+_COMPILE_RECIPES = ("compiled", "optimized")
+
+#: All pair recipes, in the order the generator draws from.
+RECIPES: Tuple[str, ...] = tuple(MUTATORS) + _COMPILE_RECIPES
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Gate alphabet and size range of one circuit family."""
+
+    name: str
+    gates: Tuple[str, ...]
+    min_qubits: int = 2
+    max_qubits: int = 5
+    min_gates: int = 8
+    max_gates: int = 24
+    ancillae: Tuple[int, int] = (0, 0)
+
+    def sample_width(self, rng: random.Random) -> Tuple[int, int]:
+        """Draw ``(data_qubits, ancilla_qubits)``."""
+        data = rng.randint(self.min_qubits, self.max_qubits)
+        low, high = self.ancillae
+        return data, (rng.randint(low, high) if high else 0)
+
+
+_CLIFFORD_GATES = ("h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap")
+
+FAMILY_SPECS: Dict[str, FamilySpec] = {
+    "clifford": FamilySpec("clifford", _CLIFFORD_GATES),
+    "clifford_t": FamilySpec(
+        "clifford_t", _CLIFFORD_GATES + ("t", "tdg")
+    ),
+    "rotations": FamilySpec(
+        "rotations", ("h", "rx", "ry", "rz", "p", "cx", "cz", "cp")
+    ),
+    "ancilla": FamilySpec(
+        "ancilla",
+        _CLIFFORD_GATES + ("t", "tdg"),
+        min_qubits=3,
+        max_qubits=5,
+        min_gates=10,
+        max_gates=24,
+        ancillae=(1, 2),
+    ),
+}
+
+#: Gates that take one rotation angle.
+_ANGLE_GATES = {"rx", "ry", "rz", "p", "cp"}
+
+
+def _random_angle(rng: random.Random) -> float:
+    """A rotation angle bounded away from 0 (mod 2π) so no gate is an
+    accidental identity — which keeps the gate-deletion label sound."""
+    return rng.uniform(0.1, 2 * math.pi - 0.1)
+
+
+def _emit_gate(
+    circuit: QuantumCircuit,
+    name: str,
+    qubits: Sequence[int],
+    rng: random.Random,
+) -> None:
+    """Append one random application of ``name`` on wires from ``qubits``."""
+    if name in ("cx", "cz", "swap"):
+        a, b = rng.sample(list(qubits), 2)
+        getattr(circuit, name)(a, b)
+    elif name == "cp":
+        a, b = rng.sample(list(qubits), 2)
+        circuit.cp(_random_angle(rng), a, b)
+    elif name in _ANGLE_GATES:
+        circuit.add(name, [rng.choice(list(qubits))], params=[_random_angle(rng)])
+    else:
+        circuit.add(name, [rng.choice(list(qubits))])
+
+
+def random_family_circuit(
+    family: str,
+    rng: random.Random,
+    num_qubits: Optional[int] = None,
+    num_gates: Optional[int] = None,
+) -> QuantumCircuit:
+    """Generate one base circuit of the requested family.
+
+    ``num_qubits`` / ``num_gates`` override the family's sampled sizes
+    (``num_qubits`` counts data qubits; the ancilla family adds wires on
+    top).
+    """
+    spec = family_spec(family)
+    data, ancillae = spec.sample_width(rng)
+    if num_qubits is not None:
+        data = num_qubits
+    gates = (
+        num_gates
+        if num_gates is not None
+        else rng.randint(spec.min_gates, spec.max_gates)
+    )
+    total = data + ancillae
+    circuit = QuantumCircuit(total, name=f"fuzz_{family}")
+    data_wires = list(range(data))
+    multi_qubit_ok = data >= 2
+    names = [
+        g
+        for g in spec.gates
+        if multi_qubit_ok or g not in ("cx", "cz", "swap", "cp")
+    ]
+    if ancillae:
+        # Split the budget around compute/uncompute sandwiches: each
+        # ancilla is written by a short coupling sequence V, used once,
+        # then returned through V† — measurement-free by construction.
+        budget = gates
+        for anc in range(data, total):
+            v = QuantumCircuit(total)
+            for _ in range(rng.randint(1, 2)):
+                v.cx(rng.choice(data_wires), anc)
+                if rng.random() < 0.5:
+                    v.add(rng.choice(("h", "s", "t")), [anc])
+            for _ in range(max(1, budget // (2 * ancillae))):
+                _emit_gate(circuit, rng.choice(names), data_wires, rng)
+            for op in v:
+                circuit.append(op)
+            circuit.cz(anc, rng.choice(data_wires))
+            for op in v.inverse():
+                circuit.append(op)
+        for _ in range(max(1, budget // 4)):
+            _emit_gate(circuit, rng.choice(names), data_wires, rng)
+    else:
+        for _ in range(gates):
+            _emit_gate(circuit, rng.choice(names), data_wires, rng)
+    return circuit
+
+
+def family_spec(family: str) -> FamilySpec:
+    if family not in FAMILY_SPECS:
+        raise ValueError(
+            f"unknown fuzz family {family!r}; pick one of {FAMILIES}"
+        )
+    return FAMILY_SPECS[family]
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """A ``(G, G')`` pair with its ground-truth label.
+
+    ``label`` is ``"equivalent"`` (possibly up to global phase) or
+    ``"not_equivalent"``; ``witness`` describes the planted error or the
+    preserving rewrite that produced ``circuit2``.
+    """
+
+    circuit1: QuantumCircuit
+    circuit2: QuantumCircuit
+    label: str
+    recipe: str
+    witness: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        return max(self.circuit1.num_qubits, self.circuit2.num_qubits)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.circuit1) + len(self.circuit2)
+
+
+def build_pair(
+    base: QuantumCircuit, recipe: str, recipe_seed: int
+) -> LabeledPair:
+    """Derive the labeled pair of an instance — a pure function.
+
+    Raises :class:`MutationNotApplicable` when the recipe no longer
+    applies to (a shrunk version of) the base circuit.
+    """
+    rng = random.Random(recipe_seed)
+    if recipe in MUTATORS:
+        mutant, label, witness = MUTATORS[recipe](base, rng)
+        return LabeledPair(base.copy(), mutant, label, recipe, witness)
+    if recipe == "compiled":
+        from repro.compile import compile_circuit, line_architecture
+
+        if len(base) == 0:
+            raise MutationNotApplicable("nothing to compile")
+        compiled = compile_circuit(
+            base, line_architecture(max(2, base.num_qubits))
+        )
+        return LabeledPair(
+            base.copy(),
+            compiled,
+            LABEL_EQUIVALENT,
+            recipe,
+            {"kind": "compiled", "device": f"line:{max(2, base.num_qubits)}"},
+        )
+    if recipe == "optimized":
+        from repro.compile import decompose_to_basis, optimize_circuit
+
+        if len(base) == 0:
+            raise MutationNotApplicable("nothing to optimize")
+        optimized = optimize_circuit(decompose_to_basis(base), level=2)
+        return LabeledPair(
+            base.copy(),
+            optimized,
+            LABEL_EQUIVALENT,
+            recipe,
+            {"kind": "optimized", "level": 2},
+        )
+    raise ValueError(f"unknown pair recipe {recipe!r}")
+
+
+@dataclass(frozen=True)
+class FuzzInstance:
+    """One reproducible fuzz case: a base circuit plus a pair recipe."""
+
+    family: str
+    seed: int
+    base: QuantumCircuit
+    recipe: str
+    recipe_seed: int
+
+    def build_pair(self) -> LabeledPair:
+        return build_pair(self.base, self.recipe, self.recipe_seed)
+
+    def with_base(self, base: QuantumCircuit) -> "FuzzInstance":
+        """The same instance over a (shrunk) base circuit."""
+        return FuzzInstance(
+            self.family, self.seed, base, self.recipe, self.recipe_seed
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "recipe": self.recipe,
+            "recipe_seed": self.recipe_seed,
+            "base_qubits": self.base.num_qubits,
+            "base_gates": len(self.base),
+        }
+
+
+def _instance_rng(family: str, seed: int) -> random.Random:
+    # Mix the family index into the seed so campaigns over different
+    # families with the same seed do not replay identical draws.
+    return random.Random(seed * 1_000_003 + FAMILIES.index(family))
+
+
+def generate_instance(
+    seed: int,
+    family: str = "clifford_t",
+    num_qubits: Optional[int] = None,
+    num_gates: Optional[int] = None,
+    recipes: Optional[Sequence[str]] = None,
+) -> Tuple[FuzzInstance, LabeledPair]:
+    """Generate one instance and its labeled pair, deterministically.
+
+    Recipes that do not apply to the drawn base circuit (e.g. a CNOT
+    flip on a CNOT-free circuit) are redrawn a bounded number of times;
+    the inverse-pair mutator always applies, so the loop terminates.
+    """
+    allowed = tuple(recipes) if recipes else RECIPES
+    for name in allowed:
+        if name not in RECIPES:
+            raise ValueError(f"unknown pair recipe {name!r}")
+    rng = _instance_rng(family, seed)
+    base = random_family_circuit(family, rng, num_qubits, num_gates)
+    last_error: Optional[Exception] = None
+    for _ in range(16):
+        recipe = rng.choice(list(allowed))
+        recipe_seed = rng.randrange(2**32)
+        instance = FuzzInstance(family, seed, base, recipe, recipe_seed)
+        try:
+            return instance, instance.build_pair()
+        except MutationNotApplicable as exc:
+            last_error = exc
+    raise MutationNotApplicable(
+        f"no applicable recipe for seed {seed} in family {family!r}: "
+        f"{last_error}"
+    )

@@ -1,0 +1,345 @@
+"""Metamorphic circuit mutators with ground-truth labels.
+
+Every mutator maps a base circuit to a mutant plus a *label* that is
+correct by construction:
+
+* **Equivalence-preserving** mutations rewrite the circuit without
+  changing its unitary (or change it only by a global phase): commuting
+  adjacent gates, inserting a gate/inverse pair, relabeling qubits
+  through a tracked permutation (with or without explicit routing
+  SWAPs), and rebasing into the CX + single-qubit basis.
+* **Equivalence-breaking** mutations carry a *witness* describing the
+  planted error: deleting a (non-identity) gate, flipping a CNOT's
+  control and target, or nudging a phase.  Each is provably
+  non-equivalence-introducing: removing gate ``g`` from ``A g B`` leaves
+  a circuit equivalent to the original iff ``g`` is proportional to the
+  identity (``A B = c·A g B  ⇔  g = c⁻¹·I``), which the mutator rules
+  out by checking ``g``'s local unitary; the same argument covers the
+  CNOT flip (``cx(b,a)·cx(a,b)`` is a non-trivial basis permutation)
+  and the phase nudge (a conjugated ``diag(1, e^{iε})`` is never
+  scalar for small ``ε``).
+
+All mutators are deterministic functions of ``(circuit, rng)``; the
+shrinker re-applies them to shrunk bases with the same seed, so the
+label survives minimization.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+from repro.circuit.unitary import (
+    hilbert_schmidt_fidelity,
+    operation_unitary,
+)
+
+#: Labels attached to generated pairs.
+LABEL_EQUIVALENT = "equivalent"
+LABEL_NOT_EQUIVALENT = "not_equivalent"
+
+#: A mutation result: (mutant, label, witness description).
+Mutation = Tuple[QuantumCircuit, str, Dict[str, object]]
+Mutator = Callable[[QuantumCircuit, random.Random], Mutation]
+
+
+class MutationNotApplicable(ValueError):
+    """The mutator cannot be applied to this circuit (e.g. no CNOT)."""
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _compact_unitary(op: Operation) -> np.ndarray:
+    """The operation's unitary on its own qubits only (controls included)."""
+    qubits = sorted(op.qubits)
+    remap = {q: i for i, q in enumerate(qubits)}
+    return operation_unitary(op.remapped(remap), len(qubits))
+
+
+def _is_identity_like(op: Operation, tol: float = 1e-9) -> bool:
+    """True if the operation is proportional to the identity."""
+    matrix = _compact_unitary(op)
+    return abs(hilbert_schmidt_fidelity(matrix, np.eye(matrix.shape[0])) - 1.0) < tol
+
+
+def _ops_commute(a: Operation, b: Operation) -> bool:
+    """True if the two operations commute as unitaries."""
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    union = sorted(set(a.qubits) | set(b.qubits))
+    if len(union) > 3:  # keep the numerical check tiny
+        return False
+    remap = {q: i for i, q in enumerate(union)}
+    n = len(union)
+    ua = operation_unitary(a.remapped(remap), n)
+    ub = operation_unitary(b.remapped(remap), n)
+    return np.allclose(ua @ ub, ub @ ua, atol=1e-12)
+
+
+def _rebuilt(
+    circuit: QuantumCircuit, operations: List[Operation], suffix: str
+) -> QuantumCircuit:
+    return QuantumCircuit(
+        circuit.num_qubits,
+        name=f"{circuit.name}_{suffix}",
+        operations=operations,
+        initial_layout=circuit.initial_layout,
+        output_permutation=circuit.output_permutation,
+    )
+
+
+# ---------------------------------------------------------------------------
+# equivalence-preserving mutators
+# ---------------------------------------------------------------------------
+def commute_adjacent(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Swap one adjacent pair of commuting operations."""
+    ops = list(circuit)
+    candidates = [
+        i for i in range(len(ops) - 1) if _ops_commute(ops[i], ops[i + 1])
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no adjacent commuting pair")
+    index = rng.choice(candidates)
+    ops[index], ops[index + 1] = ops[index + 1], ops[index]
+    witness = {"kind": "commuted_pair", "index": index}
+    return _rebuilt(circuit, ops, "commuted"), LABEL_EQUIVALENT, witness
+
+
+#: Gates the inverse-pair mutator may insert (all invertible in our set).
+_INSERTABLE_SINGLE = ("h", "s", "t", "x", "z", "sx")
+_INSERTABLE_ROTATION = ("rz", "rx", "p")
+
+
+def insert_inverse_pair(
+    circuit: QuantumCircuit, rng: random.Random
+) -> Mutation:
+    """Insert ``g · g†`` at a random position."""
+    n = circuit.num_qubits
+    if n < 1:
+        raise MutationNotApplicable("no qubits")
+    choices = list(_INSERTABLE_SINGLE + _INSERTABLE_ROTATION)
+    if n >= 2:
+        choices += ["cx", "cz", "swap"]
+    name = rng.choice(choices)
+    if name in ("cx", "cz"):
+        control, target = rng.sample(range(n), 2)
+        gate = Operation(name[1:], (target,), (control,))
+    elif name == "swap":
+        a, b = rng.sample(range(n), 2)
+        gate = Operation("swap", (a, b))
+    elif name in _INSERTABLE_ROTATION:
+        angle = rng.uniform(0.1, 2 * math.pi - 0.1)
+        gate = Operation(name, (rng.randrange(n),), params=(angle,))
+    else:
+        gate = Operation(name, (rng.randrange(n),))
+    ops = list(circuit)
+    index = rng.randrange(len(ops) + 1)
+    ops[index:index] = [gate, gate.inverse()]
+    witness = {"kind": "inverse_pair", "index": index, "gate": str(gate)}
+    return _rebuilt(circuit, ops, "invpair"), LABEL_EQUIVALENT, witness
+
+
+def swap_relabel(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Relabel qubits by a random permutation, declared via the layout.
+
+    The mutant's wire ``π(q)`` carries logical qubit ``q``; the initial
+    layout and output permutation both record the inverse map, so
+    :func:`repro.ec.permutations.to_logical_form` folds the relabeling
+    away and every strategy must report equivalence.
+    """
+    n = circuit.num_qubits
+    if n < 2:
+        raise MutationNotApplicable("need at least two qubits to permute")
+    perm = list(range(n))
+    while perm == list(range(n)):
+        rng.shuffle(perm)
+    mapping = {q: perm[q] for q in range(n)}
+    mutant = circuit.remapped(mapping)
+    mutant.name = f"{circuit.name}_relabel"
+    layout = {perm[q]: q for q in range(n)}
+    mutant.initial_layout = dict(layout)
+    mutant.output_permutation = dict(layout)
+    witness = {"kind": "relabeled", "permutation": mapping}
+    return mutant, LABEL_EQUIVALENT, witness
+
+
+def routed_swaps(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Insert explicit routing SWAPs and declare the final layout.
+
+    Mimics what a router does: at random points the mutant physically
+    swaps two wires (an explicit ``swap`` gate) and all later gates
+    follow the moved logical qubits; the resulting wire→logical map is
+    declared as the output permutation.
+    """
+    n = circuit.num_qubits
+    ops = list(circuit)
+    if n < 2:
+        raise MutationNotApplicable("need at least two qubits to route")
+    num_swaps = rng.randint(1, min(3, max(1, len(ops))))
+    positions = sorted(
+        rng.choice(range(len(ops) + 1)) for _ in range(num_swaps)
+    )
+    wire_of = list(range(n))  # logical qubit -> physical wire
+    out = QuantumCircuit(n, name=f"{circuit.name}_routed")
+    swapped: List[Tuple[int, int]] = []
+
+    def insert_swap() -> None:
+        a, b = rng.sample(range(n), 2)
+        out.swap(wire_of[a], wire_of[b])
+        wire_of[a], wire_of[b] = wire_of[b], wire_of[a]
+        swapped.append((a, b))
+
+    for index, op in enumerate(ops):
+        while positions and positions[0] == index:
+            positions.pop(0)
+            insert_swap()
+        out.append(op.remapped({q: wire_of[q] for q in range(n)}))
+    while positions:
+        positions.pop(0)
+        insert_swap()
+    out.output_permutation = {wire_of[q]: q for q in range(n)}
+    witness = {"kind": "routed", "swaps": swapped}
+    return out, LABEL_EQUIVALENT, witness
+
+
+def rebase(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Rewrite into the CX + single-qubit basis (global phase allowed)."""
+    from repro.compile import decompose_to_basis, decompose_to_cx_and_singles
+
+    lower = rng.choice((decompose_to_cx_and_singles, decompose_to_basis))
+    mutant = lower(circuit)
+    mutant.name = f"{circuit.name}_rebased"
+    witness = {"kind": "rebased", "pass": lower.__name__}
+    return mutant, LABEL_EQUIVALENT, witness
+
+
+# ---------------------------------------------------------------------------
+# equivalence-breaking mutators (label carries a witness)
+# ---------------------------------------------------------------------------
+def delete_gate(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Remove one gate that is not proportional to the identity."""
+    ops = list(circuit)
+    candidates = [
+        i for i, op in enumerate(ops) if not _is_identity_like(op)
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no non-identity gate to delete")
+    index = rng.choice(candidates)
+    removed = ops.pop(index)
+    witness = {"kind": "gate_deleted", "index": index, "gate": str(removed)}
+    return (
+        _rebuilt(circuit, ops, "gate_missing"),
+        LABEL_NOT_EQUIVALENT,
+        witness,
+    )
+
+
+def flip_cnot(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Exchange control and target of one CNOT."""
+    ops = list(circuit)
+    candidates = [
+        i
+        for i, op in enumerate(ops)
+        if op.name == "x" and len(op.controls) == 1
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no CNOT to flip")
+    index = rng.choice(candidates)
+    op = ops[index]
+    ops[index] = Operation("x", op.controls, op.targets)
+    witness = {
+        "kind": "flipped_cnot",
+        "index": index,
+        "control": op.controls[0],
+        "target": op.targets[0],
+    }
+    return (
+        _rebuilt(circuit, ops, "flipped_cnot"),
+        LABEL_NOT_EQUIVALENT,
+        witness,
+    )
+
+
+def phase_nudge(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Nudge one rotation angle, or insert a small diagonal phase.
+
+    The planted error is diagonal, the class of error the paper's
+    classical random stimuli are structurally blind to — the oracle must
+    rely on the proving strategies to catch it.
+    """
+    delta = rng.uniform(0.05, 0.45) * rng.choice((-1.0, 1.0))
+    ops = list(circuit)
+    rotations = [
+        i
+        for i, op in enumerate(ops)
+        if op.params and op.name in ("rx", "ry", "rz", "p", "rzz", "rxx")
+    ]
+    rng.shuffle(rotations)
+    for index in rotations:
+        op = ops[index]
+        nudged = Operation(
+            op.name,
+            op.targets,
+            op.controls,
+            (op.params[0] + delta,) + op.params[1:],
+        )
+        # Sound only if the nudge actually changes the local unitary by
+        # more than a global phase (e.g. not rx(θ) → rx(θ+2π)).
+        diff = _compact_unitary(nudged) @ _compact_unitary(op).conj().T
+        if abs(
+            hilbert_schmidt_fidelity(diff, np.eye(diff.shape[0])) - 1.0
+        ) < 1e-6:
+            continue
+        ops[index] = nudged
+        witness = {
+            "kind": "phase_nudged",
+            "index": index,
+            "gate": str(op),
+            "delta": delta,
+        }
+        return (
+            _rebuilt(circuit, ops, "phase_nudge"),
+            LABEL_NOT_EQUIVALENT,
+            witness,
+        )
+    if circuit.num_qubits < 1:
+        raise MutationNotApplicable("no qubits")
+    index = rng.randrange(len(ops) + 1)
+    qubit = rng.randrange(circuit.num_qubits)
+    ops.insert(index, Operation("p", (qubit,), params=(abs(delta),)))
+    witness = {
+        "kind": "phase_inserted",
+        "index": index,
+        "qubit": qubit,
+        "delta": abs(delta),
+    }
+    return (
+        _rebuilt(circuit, ops, "phase_nudge"),
+        LABEL_NOT_EQUIVALENT,
+        witness,
+    )
+
+
+#: Name → mutator, grouped by label class.
+PRESERVING_MUTATORS: Dict[str, Mutator] = {
+    "commute": commute_adjacent,
+    "insert_inverse_pair": insert_inverse_pair,
+    "swap_relabel": swap_relabel,
+    "routed_swaps": routed_swaps,
+    "rebase": rebase,
+}
+
+BREAKING_MUTATORS: Dict[str, Mutator] = {
+    "delete_gate": delete_gate,
+    "flip_cnot": flip_cnot,
+    "phase_nudge": phase_nudge,
+}
+
+MUTATORS: Dict[str, Mutator] = {**PRESERVING_MUTATORS, **BREAKING_MUTATORS}

@@ -1,0 +1,214 @@
+"""The fuzz campaign driver behind ``python -m repro fuzz``.
+
+A campaign walks ``budget`` seeded instances of one family, pushes every
+derived pair through the differential oracle and, on a disagreement,
+shrinks the instance and persists the minimized repro into the corpus
+directory.  Everything is deterministic in ``seed``; a wall-clock cap
+(``max_seconds``) can stop a campaign early without losing repros.
+
+Exit-code contract (also honoured by ``make fuzz``):
+
+* ``0`` — every pair agreed (no repro written),
+* ``2`` — at least one disagreement was found, shrunk and persisted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ec.configuration import Configuration
+from repro.fuzz.corpus import persist_repro
+from repro.fuzz.generator import (
+    FAMILIES,
+    FuzzInstance,
+    MutationNotApplicable,
+    generate_instance,
+)
+from repro.fuzz.oracle import DifferentialOracle, OracleReport, VerdictHook
+from repro.fuzz.shrink import shrink_instance
+
+#: Exit codes of the campaign (the CLI contract).
+EXIT_AGREED = 0
+EXIT_REPRO_WRITTEN = 2
+
+
+@dataclass
+class FuzzSettings:
+    """Knobs of one fuzz campaign."""
+
+    seed: int = 0
+    budget: int = 100
+    family: str = "clifford_t"
+    num_qubits: Optional[int] = None
+    num_gates: Optional[int] = None
+    corpus_dir: str = "corpus"
+    isolate: bool = False
+    check_timeout: float = 10.0
+    max_seconds: Optional[float] = None
+    shrink_checks: int = 150
+    dense_limit: int = 8
+
+    def validate(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown fuzz family {self.family!r}; pick one of {FAMILIES}"
+            )
+        if self.budget < 1:
+            raise ValueError("budget must be at least 1")
+        if self.check_timeout <= 0:
+            raise ValueError("check_timeout must be positive")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self.shrink_checks < 0:
+            raise ValueError("shrink_checks must be non-negative")
+
+
+@dataclass
+class Disagreement:
+    """One found, shrunk and persisted failure."""
+
+    instance: FuzzInstance
+    report: OracleReport
+    shrink_info: Dict[str, object]
+    path: Optional[str] = None
+
+
+@dataclass
+class FuzzOutcome:
+    """Summary of one campaign."""
+
+    settings: FuzzSettings
+    pairs_run: int = 0
+    recipe_counts: Dict[str, int] = field(default_factory=dict)
+    label_counts: Dict[str, int] = field(default_factory=dict)
+    missed_by_simulation: int = 0
+    skipped_instances: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    stopped_early: bool = False
+    seconds: float = 0.0
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_REPRO_WRITTEN if self.disagreements else EXIT_AGREED
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "family": self.settings.family,
+            "seed": self.settings.seed,
+            "budget": self.settings.budget,
+            "pairs_run": self.pairs_run,
+            "recipes": dict(sorted(self.recipe_counts.items())),
+            "labels": dict(sorted(self.label_counts.items())),
+            "missed_by_simulation": self.missed_by_simulation,
+            "disagreements": len(self.disagreements),
+            "stopped_early": self.stopped_early,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def run_fuzz(
+    settings: FuzzSettings,
+    verdict_hook: Optional[VerdictHook] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzOutcome:
+    """Run one differential fuzzing campaign.
+
+    ``verdict_hook`` is forwarded to the oracle — production campaigns
+    leave it None; the chaos-style tests plant a lying checker there to
+    prove the pipeline catches, shrinks and persists real bugs.
+    """
+    settings.validate()
+    emit = log or (lambda _message: None)
+    oracle = DifferentialOracle(
+        configuration=Configuration(
+            timeout=settings.check_timeout, seed=settings.seed
+        ),
+        isolate=settings.isolate,
+        dense_limit=settings.dense_limit,
+        verdict_hook=verdict_hook,
+    )
+    outcome = FuzzOutcome(settings=settings)
+    start = time.monotonic()
+
+    def reproduces(candidate: FuzzInstance) -> bool:
+        try:
+            candidate_pair = candidate.build_pair()
+        except MutationNotApplicable:
+            return False
+        return not oracle.check(candidate_pair).agreed
+
+    for index in range(settings.budget):
+        if (
+            settings.max_seconds is not None
+            and time.monotonic() - start > settings.max_seconds
+        ):
+            outcome.stopped_early = True
+            emit(
+                f"wall-clock cap of {settings.max_seconds:.0f}s reached "
+                f"after {outcome.pairs_run} pairs"
+            )
+            break
+        instance_seed = settings.seed * 1_000_000 + index
+        try:
+            instance, pair = generate_instance(
+                instance_seed,
+                settings.family,
+                num_qubits=settings.num_qubits,
+                num_gates=settings.num_gates,
+            )
+        except MutationNotApplicable:
+            outcome.skipped_instances += 1
+            continue
+        report = oracle.check(pair)
+        outcome.pairs_run += 1
+        outcome.recipe_counts[pair.recipe] = (
+            outcome.recipe_counts.get(pair.recipe, 0) + 1
+        )
+        outcome.label_counts[pair.label] = (
+            outcome.label_counts.get(pair.label, 0) + 1
+        )
+        if report.missed_by_simulation:
+            outcome.missed_by_simulation += 1
+        if report.agreed:
+            if (index + 1) % 25 == 0:
+                emit(
+                    f"[{index + 1}/{settings.budget}] all agreed "
+                    f"({outcome.pairs_run} pairs checked)"
+                )
+            continue
+
+        emit(
+            f"[{index + 1}/{settings.budget}] DISAGREEMENT on "
+            f"{pair.recipe} pair (label={pair.label}): "
+            f"{report.disagreements}"
+        )
+        shrunk = shrink_instance(
+            instance, reproduces, max_checks=settings.shrink_checks
+        )
+        final_instance = shrunk.instance
+        try:
+            final_pair = final_instance.build_pair()
+            final_report = oracle.check(final_pair)
+        except MutationNotApplicable:  # pragma: no cover - shrink guards this
+            final_instance, final_pair, final_report = instance, pair, report
+        disagreement = Disagreement(
+            final_instance, final_report, shrunk.describe()
+        )
+        path = persist_repro(
+            settings.corpus_dir,
+            final_instance,
+            final_pair,
+            final_report,
+            shrink_info=disagreement.shrink_info,
+        )
+        disagreement.path = str(path)
+        outcome.disagreements.append(disagreement)
+        emit(
+            f"  shrunk {shrunk.original_gates} -> {shrunk.shrunk_gates} "
+            f"base gates in {shrunk.checks} oracle calls; repro at {path}"
+        )
+
+    outcome.seconds = time.monotonic() - start
+    return outcome

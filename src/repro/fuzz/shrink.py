@@ -1,0 +1,132 @@
+"""Greedy minimization of a failing fuzz instance.
+
+The shrinker operates on the *base* circuit of an instance, never on the
+derived pair: after every candidate edit the pair is re-derived through
+the instance's recipe (same recipe seed), so the ground-truth label
+stays correct by construction and the oracle can be re-consulted.  Two
+reductions are tried to a fixpoint:
+
+* **gate removal** — drop one base gate at a time, keeping the removal
+  whenever the oracle disagreement still reproduces;
+* **qubit projection** — drop a wire no remaining gate touches,
+  relabeling the wires above it down by one.
+
+Every candidate costs one full oracle run, so the predicate budget is
+bounded (``max_checks``); on exhaustion the best reduction found so far
+is returned.  Greedy gate removal is quadratic in the worst case but the
+bases are small (tens of gates), and a disagreement that reproduces on a
+12-gate circuit is worth far more than a fast one on a 300-gate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.fuzz.generator import FuzzInstance
+
+#: Predicate deciding whether a candidate instance still fails.
+Reproduces = Callable[[FuzzInstance], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized instance plus bookkeeping about the search."""
+
+    instance: FuzzInstance
+    original_gates: int
+    checks: int = 0
+    rounds: int = 0
+    exhausted: bool = False
+
+    @property
+    def shrunk_gates(self) -> int:
+        return len(self.instance.base)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "original_gates": self.original_gates,
+            "shrunk_gates": self.shrunk_gates,
+            "shrunk_qubits": self.instance.base.num_qubits,
+            "oracle_checks": self.checks,
+            "rounds": self.rounds,
+            "exhausted": self.exhausted,
+        }
+
+
+def _without_gate(base: QuantumCircuit, index: int) -> QuantumCircuit:
+    ops = list(base.operations)
+    del ops[index]
+    return QuantumCircuit(
+        base.num_qubits,
+        name=base.name,
+        operations=ops,
+        initial_layout=base.initial_layout,
+        output_permutation=base.output_permutation,
+    )
+
+
+def _project_qubit(base: QuantumCircuit, qubit: int) -> Optional[QuantumCircuit]:
+    """Drop wire ``qubit`` if unused; wires above shift down by one."""
+    if any(qubit in op.qubits for op in base):
+        return None
+    if base.num_qubits <= 1:
+        return None
+    mapping = {
+        q: (q if q < qubit else q - 1) for q in range(base.num_qubits)
+    }
+    out = QuantumCircuit(base.num_qubits - 1, name=base.name)
+    for op in base:
+        out.append(op.remapped(mapping))
+    return out
+
+
+def shrink_instance(
+    instance: FuzzInstance,
+    reproduces: Reproduces,
+    max_checks: int = 200,
+) -> ShrinkResult:
+    """Greedily minimize ``instance`` while ``reproduces`` stays true.
+
+    ``reproduces`` must return True for candidate instances on which the
+    original disagreement still shows (and must tolerate recipes that no
+    longer apply by returning False).  The instance passed in is assumed
+    to reproduce; it is returned unchanged if no reduction survives.
+    """
+    result = ShrinkResult(instance, original_gates=len(instance.base))
+    current = instance
+
+    def attempt(candidate_base: QuantumCircuit) -> Optional[FuzzInstance]:
+        if result.checks >= max_checks:
+            result.exhausted = True
+            return None
+        result.checks += 1
+        candidate = current.with_base(candidate_base)
+        return candidate if reproduces(candidate) else None
+
+    progress = True
+    while progress and not result.exhausted:
+        progress = False
+        result.rounds += 1
+        # Pass 1: gate removal, scanning from the back so indices of
+        # not-yet-visited gates stay valid after a successful removal.
+        index = len(current.base) - 1
+        while index >= 0 and not result.exhausted:
+            accepted = attempt(_without_gate(current.base, index))
+            if accepted is not None:
+                current = accepted
+                progress = True
+            index -= 1
+        # Pass 2: project away wires freed by the removals.
+        qubit = current.base.num_qubits - 1
+        while qubit >= 0 and not result.exhausted:
+            projected = _project_qubit(current.base, qubit)
+            if projected is not None:
+                accepted = attempt(projected)
+                if accepted is not None:
+                    current = accepted
+                    progress = True
+            qubit -= 1
+    result.instance = current
+    return result

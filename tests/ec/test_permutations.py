@@ -1,5 +1,7 @@
 """Tests for permutation handling (`repro.ec.permutations`)."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
 from repro.circuit.circuit import compiled_ghz_example, ghz_example
 from repro.circuit.unitary import permutation_matrix
 from repro.compile import compile_circuit, line_architecture
+from repro.ec import Configuration, EquivalenceCheckingManager
 from repro.ec.permutations import reconstruct_swaps, to_logical_form
 from tests.conftest import random_circuit
 
@@ -104,3 +107,78 @@ class TestToLogicalForm:
         assert unitaries_equivalent(
             circuit_unitary(logical), np.eye(4)
         )
+
+
+#: Every proving strategy must fold layout metadata the same way.
+_STRATEGIES = ("construction", "alternating", "zx", "simulation")
+
+
+class TestPermutationsAcrossStrategies:
+    """SWAP-relabeled and routed mutant pairs through every strategy.
+
+    Regression net for the permutation-folding path: the metamorphic
+    mutators declare layouts exactly the way the compiler does, so a
+    checker that mishandles ``initial_layout`` / ``output_permutation``
+    flips these known-equivalent pairs to NOT_EQUIVALENT.
+    """
+
+    def _check(self, circuit1, circuit2, strategy):
+        config = Configuration(strategy=strategy, timeout=20.0, seed=0)
+        return EquivalenceCheckingManager(circuit1, circuit2, config).run()
+
+    @pytest.mark.parametrize("strategy", _STRATEGIES + ("stabilizer",))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_swap_relabeled_pair_equivalent(self, strategy, seed):
+        from repro.fuzz.mutators import swap_relabel
+
+        base = random_circuit(4, 12, seed=seed, gate_set="clifford_t")
+        if strategy == "stabilizer":
+            base = QuantumCircuit(
+                4,
+                operations=[
+                    op for op in base if op.name not in ("t", "tdg")
+                ],
+            )
+        mutant, label, _ = swap_relabel(base, random.Random(seed))
+        assert label == "equivalent"
+        result = self._check(base, mutant, strategy)
+        assert result.considered_equivalent, (
+            f"{strategy} rejected a relabeled pair: {result.equivalence}"
+        )
+
+    @pytest.mark.parametrize("strategy", _STRATEGIES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_routed_pair_with_final_layout_equivalent(self, strategy, seed):
+        from repro.fuzz.mutators import routed_swaps
+
+        base = random_circuit(4, 12, seed=seed, gate_set="clifford_t")
+        mutant, label, witness = routed_swaps(base, random.Random(seed))
+        assert label == "equivalent"
+        assert witness["swaps"]
+        result = self._check(base, mutant, strategy)
+        assert result.considered_equivalent, (
+            f"{strategy} rejected a routed pair: {result.equivalence}"
+        )
+
+    @pytest.mark.parametrize("strategy", _STRATEGIES)
+    def test_compiled_circuit_with_final_layout(self, strategy):
+        # The real compiler path: routing onto a line leaves both an
+        # initial layout and a final-layout output permutation.
+        circuit = random_circuit(4, 14, seed=9, gate_set="clifford_t")
+        compiled = compile_circuit(circuit, line_architecture(5))
+        assert compiled.initial_layout or compiled.output_permutation
+        result = self._check(circuit, compiled, strategy)
+        assert result.considered_equivalent
+
+    def test_relabeled_pair_not_equivalent_without_metadata(self):
+        # Sanity: stripping the declared layout must break equivalence,
+        # proving the tests above exercise the folding path at all.
+        from repro.fuzz.mutators import swap_relabel
+
+        base = random_circuit(3, 10, seed=1, gate_set="clifford_t")
+        mutant, _, _ = swap_relabel(base, random.Random(1))
+        stripped = mutant.copy()
+        stripped.initial_layout = {}
+        stripped.output_permutation = {}
+        result = self._check(base, stripped, "alternating")
+        assert not result.considered_equivalent

@@ -64,6 +64,53 @@ class TestSimulationCheck:
         result = simulation_check(a, b, Configuration(seed=1))
         assert result.equivalence is Equivalence.PROBABLY_EQUIVALENT
 
+    def test_stimuli_digest_reproducible(self):
+        """Same seed ⇒ byte-identical stimuli sequence (and verdict)."""
+        circuit = random_circuit(4, 20, seed=8)
+        first = simulation_check(circuit, circuit.copy(), Configuration(seed=11))
+        second = simulation_check(circuit, circuit.copy(), Configuration(seed=11))
+        assert (
+            first.statistics["stimuli_digest"]
+            == second.statistics["stimuli_digest"]
+        )
+        assert first.equivalence is second.equivalence
+
+    def test_stimuli_digest_differs_across_seeds(self):
+        circuit = random_circuit(4, 20, seed=8)
+        a = simulation_check(circuit, circuit.copy(), Configuration(seed=1))
+        b = simulation_check(circuit, circuit.copy(), Configuration(seed=2))
+        assert a.statistics["stimuli_digest"] != b.statistics["stimuli_digest"]
+
+    @pytest.mark.parametrize(
+        "stimuli", ("classical", "local_quantum", "global_quantum")
+    )
+    def test_stimuli_digest_reproducible_per_type(self, stimuli):
+        circuit = random_circuit(3, 12, seed=9)
+        config = Configuration(seed=5, stimuli_type=stimuli, num_simulations=4)
+        first = simulation_check(circuit, circuit.copy(), config)
+        second = simulation_check(circuit, circuit.copy(), config)
+        assert (
+            first.statistics["stimuli_digest"]
+            == second.statistics["stimuli_digest"]
+        )
+
+    def test_stimuli_digest_identical_under_isolation(self):
+        """The reproducibility contract holds across process boundaries:
+        an in-process run and a sandboxed subprocess run with the same
+        seed must report the same digest and verdict."""
+        from repro.harness import run_check
+
+        circuit = random_circuit(3, 15, seed=10)
+        config = Configuration(strategy="simulation", seed=21, timeout=30.0)
+        inline = simulation_check(circuit, circuit.copy(), config)
+        isolated = run_check(circuit, circuit.copy(), config, isolate=True)
+        assert isolated.failure is None
+        assert (
+            inline.statistics["stimuli_digest"]
+            == isolated.statistics["stimuli_digest"]
+        )
+        assert inline.equivalence is isolated.equivalence
+
     def test_phase_error_invisible_to_classical_stimuli(self):
         """A diagonal error after the final H layer can hide from basis
         states only if it commutes with them; a Z on a plain wire does

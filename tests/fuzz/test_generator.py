@@ -1,0 +1,123 @@
+"""Tests for the seeded instance generator (`repro.fuzz.generator`)."""
+
+import random
+
+import pytest
+
+from repro.circuit import circuit_to_qasm
+from repro.fuzz.generator import (
+    FAMILIES,
+    FAMILY_SPECS,
+    RECIPES,
+    FuzzInstance,
+    generate_instance,
+    random_family_circuit,
+)
+from repro.fuzz.mutators import (
+    LABEL_EQUIVALENT,
+    LABEL_NOT_EQUIVALENT,
+    BREAKING_MUTATORS,
+    PRESERVING_MUTATORS,
+)
+
+
+class TestRandomFamilyCircuit:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_gates_within_family_alphabet(self, family):
+        spec = FAMILY_SPECS[family]
+        circuit = random_family_circuit(family, random.Random(3))
+        # The ancilla family's compute/uncompute scaffolding also uses
+        # sdg/tdg (inverses of its own alphabet) and cz payloads.
+        allowed = set(spec.gates) | {"sdg", "tdg"}
+        for op in circuit:
+            base = op.name
+            if op.controls:
+                base = {"x": "cx", "z": "cz", "p": "cp"}.get(base, base)
+            assert base in allowed, f"{base} not in {family} alphabet"
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_in_seed(self, family):
+        a = random_family_circuit(family, random.Random(11))
+        b = random_family_circuit(family, random.Random(11))
+        assert circuit_to_qasm(a) == circuit_to_qasm(b)
+
+    def test_size_overrides(self):
+        circuit = random_family_circuit(
+            "clifford_t", random.Random(0), num_qubits=3, num_gates=7
+        )
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 7
+
+    def test_ancilla_family_adds_wires(self):
+        spec = FAMILY_SPECS["ancilla"]
+        circuit = random_family_circuit("ancilla", random.Random(5))
+        assert circuit.num_qubits > spec.min_qubits
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz family"):
+            random_family_circuit("bogus", random.Random(0))
+
+
+class TestGenerateInstance:
+    def test_deterministic_pair(self):
+        inst1, pair1 = generate_instance(9, "clifford_t")
+        inst2, pair2 = generate_instance(9, "clifford_t")
+        assert inst1.describe() == inst2.describe()
+        assert circuit_to_qasm(pair1.circuit1) == circuit_to_qasm(pair2.circuit1)
+        assert circuit_to_qasm(pair1.circuit2) == circuit_to_qasm(pair2.circuit2)
+        assert pair1.label == pair2.label
+
+    def test_labels_match_recipe_class(self):
+        for seed in range(20):
+            _, pair = generate_instance(seed, "clifford_t")
+            if pair.recipe in PRESERVING_MUTATORS or pair.recipe in (
+                "compiled",
+                "optimized",
+            ):
+                assert pair.label == LABEL_EQUIVALENT
+            else:
+                assert pair.recipe in BREAKING_MUTATORS
+                assert pair.label == LABEL_NOT_EQUIVALENT
+
+    def test_recipe_restriction_honoured(self):
+        for seed in range(5):
+            _, pair = generate_instance(
+                seed, "clifford", recipes=("insert_inverse_pair",)
+            )
+            assert pair.recipe == "insert_inverse_pair"
+
+    def test_unknown_recipe_rejected(self):
+        with pytest.raises(ValueError, match="unknown pair recipe"):
+            generate_instance(0, "clifford", recipes=("bogus",))
+
+    def test_families_diverge_for_same_seed(self):
+        qasm = {
+            family: circuit_to_qasm(generate_instance(4, family)[0].base)
+            for family in FAMILIES
+        }
+        assert len(set(qasm.values())) > 1
+
+    def test_rebuild_from_shrunk_base_keeps_label(self):
+        instance, pair = generate_instance(2, "clifford_t")
+        rebuilt = FuzzInstance(
+            instance.family,
+            instance.seed,
+            instance.base,
+            instance.recipe,
+            instance.recipe_seed,
+        ).build_pair()
+        assert rebuilt.label == pair.label
+        assert circuit_to_qasm(rebuilt.circuit2) == circuit_to_qasm(
+            pair.circuit2
+        )
+
+    def test_all_recipes_reachable(self):
+        seen = set()
+        for seed in range(80):
+            _, pair = generate_instance(seed, "clifford_t")
+            seen.add(pair.recipe)
+        # every recipe class shows up in a modest campaign
+        assert seen >= {"compiled", "optimized"}
+        assert seen & set(PRESERVING_MUTATORS)
+        assert seen & set(BREAKING_MUTATORS)
+        assert seen <= set(RECIPES)

@@ -1,0 +1,122 @@
+"""Label soundness of the metamorphic mutators (`repro.fuzz.mutators`).
+
+The whole fuzzing scheme rests on the labels being correct by
+construction, so these tests check them against dense unitaries: every
+preserving mutant must match the base up to global phase, every breaking
+mutant must differ by more than one.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_unitary, unitaries_equivalent
+from repro.ec.permutations import to_logical_form
+from repro.fuzz.mutators import (
+    BREAKING_MUTATORS,
+    LABEL_EQUIVALENT,
+    LABEL_NOT_EQUIVALENT,
+    MUTATORS,
+    PRESERVING_MUTATORS,
+    MutationNotApplicable,
+)
+from tests.conftest import random_circuit
+
+
+def _logical_unitary(circuit, num_qubits):
+    logical, _ = to_logical_form(circuit, num_qubits)
+    return circuit_unitary(logical)
+
+
+def _apply(mutator, circuit, seed):
+    return mutator(circuit, random.Random(seed))
+
+
+class TestPreservingMutators:
+    @pytest.mark.parametrize("name", sorted(PRESERVING_MUTATORS))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unitary_preserved_up_to_phase(self, name, seed):
+        base = random_circuit(4, 14, seed=seed, gate_set="clifford_t")
+        try:
+            mutant, label, witness = _apply(
+                PRESERVING_MUTATORS[name], base, seed
+            )
+        except MutationNotApplicable:
+            pytest.skip(f"{name} not applicable to seed {seed}")
+        assert label == LABEL_EQUIVALENT
+        assert witness
+        n = max(base.num_qubits, mutant.num_qubits)
+        assert unitaries_equivalent(
+            _logical_unitary(base, n), _logical_unitary(mutant, n)
+        )
+
+    def test_commute_needs_commuting_pair(self):
+        circuit = QuantumCircuit(1).h(0).t(0)  # H·T never commutes
+        with pytest.raises(MutationNotApplicable):
+            _apply(PRESERVING_MUTATORS["commute"], circuit, 0)
+
+    def test_swap_relabel_declares_layout(self):
+        base = random_circuit(3, 8, seed=1, gate_set="clifford_t")
+        mutant, _, witness = _apply(PRESERVING_MUTATORS["swap_relabel"], base, 1)
+        assert mutant.initial_layout and mutant.output_permutation
+        assert witness["kind"] == "relabeled"
+
+    def test_routed_swaps_adds_explicit_swaps(self):
+        base = random_circuit(3, 8, seed=2, gate_set="clifford_t")
+        mutant, _, _ = _apply(PRESERVING_MUTATORS["routed_swaps"], base, 2)
+        assert mutant.count_ops().get("swap", 0) >= 1
+        assert mutant.output_permutation
+
+
+class TestBreakingMutators:
+    @pytest.mark.parametrize("name", sorted(BREAKING_MUTATORS))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unitary_actually_differs(self, name, seed):
+        base = random_circuit(4, 14, seed=seed, gate_set="clifford_t")
+        try:
+            mutant, label, witness = _apply(
+                BREAKING_MUTATORS[name], base, seed
+            )
+        except MutationNotApplicable:
+            pytest.skip(f"{name} not applicable to seed {seed}")
+        assert label == LABEL_NOT_EQUIVALENT
+        assert witness["kind"]
+        n = max(base.num_qubits, mutant.num_qubits)
+        assert not unitaries_equivalent(
+            _logical_unitary(base, n), _logical_unitary(mutant, n)
+        )
+
+    def test_delete_gate_skips_identity_like_gates(self):
+        # A circuit of only identity-like gates leaves nothing deletable,
+        # because removing an identity would keep the circuits equivalent
+        # and silently break the label.
+        circuit = QuantumCircuit(1).add("id", [0]).rz(0.0, 0)
+        with pytest.raises(MutationNotApplicable):
+            _apply(BREAKING_MUTATORS["delete_gate"], circuit, 0)
+
+    def test_flip_cnot_requires_a_cnot(self):
+        circuit = QuantumCircuit(2).h(0).cz(0, 1)
+        with pytest.raises(MutationNotApplicable):
+            _apply(BREAKING_MUTATORS["flip_cnot"], circuit, 0)
+
+    def test_phase_nudge_on_rotation_free_circuit_inserts_phase(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        mutant, label, witness = _apply(
+            BREAKING_MUTATORS["phase_nudge"], circuit, 3
+        )
+        assert label == LABEL_NOT_EQUIVALENT
+        assert witness["kind"] == "phase_inserted"
+        assert len(mutant) == len(circuit) + 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(MUTATORS))
+    def test_same_seed_same_mutation(self, name):
+        base = random_circuit(4, 12, seed=7, gate_set="clifford_t")
+        try:
+            first = _apply(MUTATORS[name], base, 99)
+            second = _apply(MUTATORS[name], base, 99)
+        except MutationNotApplicable:
+            pytest.skip(f"{name} not applicable")
+        assert first[0].operations == second[0].operations
+        assert first[2] == second[2]

@@ -1,0 +1,90 @@
+"""Property-based QASM round-trip tests (satellite of the fuzzing PR).
+
+``circuit_from_qasm(circuit_to_qasm(c))`` must preserve the gate list,
+the qubit count and — for widths where dense unitaries are cheap — the
+semantics.  The generator sweep also covers the controlled-S family,
+which the writer previously could not serialize at all (``cs``/``csdg``
+were missing from both the builtin table and the controlled-name map).
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import (
+    QuantumCircuit,
+    circuit_from_qasm,
+    circuit_to_qasm,
+    circuit_unitary,
+    unitaries_equivalent,
+)
+from repro.fuzz.generator import FAMILIES, random_family_circuit
+from tests.conftest import random_circuit
+
+
+def _roundtrip(circuit: QuantumCircuit) -> QuantumCircuit:
+    return circuit_from_qasm(circuit_to_qasm(circuit), name=circuit.name)
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_family_circuits_roundtrip(self, family, seed):
+        circuit = random_family_circuit(family, random.Random(seed))
+        back = _roundtrip(circuit)
+        assert back.num_qubits == circuit.num_qubits
+        assert len(back) == len(circuit)
+        assert back.count_ops() == circuit.count_ops()
+        assert back.operations == circuit.operations
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_gate_set_roundtrip_preserves_unitary(self, seed):
+        circuit = random_circuit(4, 16, seed=seed, gate_set="mixed")
+        back = _roundtrip(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(back), circuit_unitary(circuit)
+        )
+
+    @pytest.mark.parametrize("num_qubits", range(1, 7))
+    def test_all_widths_up_to_six(self, num_qubits):
+        circuit = random_circuit(
+            num_qubits, 12, seed=num_qubits, gate_set="mixed"
+        )
+        back = _roundtrip(circuit)
+        assert back.num_qubits == num_qubits
+        assert unitaries_equivalent(
+            circuit_unitary(back), circuit_unitary(circuit)
+        )
+
+    def test_roundtrip_is_idempotent(self):
+        circuit = random_circuit(4, 20, seed=3, gate_set="mixed")
+        once = circuit_to_qasm(circuit)
+        twice = circuit_to_qasm(circuit_from_qasm(once))
+        assert once == twice
+
+    def test_float_params_survive_exactly(self):
+        angle = 0.1234567890123456789
+        circuit = QuantumCircuit(1).rz(angle, 0)
+        back = _roundtrip(circuit)
+        assert back.operations[0].params[0] == float(angle)
+
+
+class TestControlledSRegression:
+    def test_cs_serializes_and_parses(self):
+        circuit = QuantumCircuit(2).cs(0, 1)
+        qasm = circuit_to_qasm(circuit)
+        assert "cs " in qasm
+        back = circuit_from_qasm(qasm)
+        assert back.operations == circuit.operations
+
+    def test_csdg_serializes_and_parses(self):
+        circuit = QuantumCircuit(2).add("sdg", [1], controls=[0])
+        back = _roundtrip(circuit)
+        assert back.operations == circuit.operations
+
+    def test_cs_roundtrip_preserves_unitary(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cs(0, 1).cx(0, 1)
+        back = _roundtrip(circuit)
+        assert unitaries_equivalent(
+            circuit_unitary(back), circuit_unitary(circuit)
+        )

@@ -1,0 +1,45 @@
+"""Tier-1 fuzz smoke budget: a short seeded campaign must stay clean.
+
+Marked ``fuzz_smoke`` so CI can select it explicitly
+(``pytest -m fuzz_smoke``); the wall-clock cap keeps the budget around
+thirty seconds even on slow machines.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fuzz import FuzzSettings, run_fuzz
+
+
+@pytest.mark.fuzz_smoke
+class TestFuzzSmoke:
+    def test_seeded_smoke_budget_is_clean(self, tmp_path):
+        outcome = run_fuzz(
+            FuzzSettings(
+                seed=0,
+                budget=60,
+                family="clifford_t",
+                corpus_dir=str(tmp_path / "corpus"),
+                max_seconds=30.0,
+            )
+        )
+        assert outcome.exit_code == 0, [
+            d.report.to_dict() for d in outcome.disagreements
+        ]
+        assert outcome.pairs_run > 0
+        # equivalent and non-equivalent labels both exercised
+        assert len(outcome.label_counts) == 2
+
+    def test_cli_contract(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "fuzz",
+                "--seed", "0",
+                "--budget", "10",
+                "--family", "clifford",
+                "--corpus", str(tmp_path / "corpus"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 disagreement(s)" in out
