@@ -4,11 +4,31 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz fuzz-smoke bench
+.PHONY: test lint typecheck fuzz fuzz-smoke bench
 
 # Tier-1 gate: the full unit-test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Project-invariant AST lint (always available) plus ruff when installed.
+# ruff/mypy are optional-dependency tools ([project.optional-dependencies]
+# lint); the targets degrade gracefully where they are not installed so
+# `make lint` works in the hermetic test container, while CI installs
+# them and gets the full gate.
+lint:
+	$(PYTHON) tools/check_repro.py
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests tools benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install .[lint])"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install .[lint])"; \
+	fi
 
 # The acceptance fuzz campaign: 300 Clifford+T pairs through the full
 # differential oracle.  Exit 0 = all checkers agreed, exit 2 = at least

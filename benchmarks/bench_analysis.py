@@ -1,0 +1,257 @@
+"""Overhead and short-circuit baseline for the static analysis pre-pass.
+
+Two claims are measured and recorded in ``BENCH_analysis.json``:
+
+1. **Overhead** — on equivalent pairs that the pre-pass cannot decide
+   (entangled, single-fragment), running with ``static_analysis=True``
+   costs less than 5% extra wall time over ``static_analysis=False``.
+2. **Short-circuit** — on pairs the analyzer decides soundly (idle-wire,
+   fragment and phase-polynomial witnesses), the verdict arrives without
+   constructing a single decision diagram or ZX-diagram, and far faster
+   than the full checker would have been.
+
+Run:  PYTHONPATH=src python benchmarks/bench_analysis.py
+
+(The module intentionally defines no ``test_*``/pytest entry points; the
+tier-1 smoke guard lives in ``tests/analysis/test_bench_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import algorithms
+from repro.compile import compile_circuit, line_architecture, manhattan_architecture
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.fuzz.generator import FAMILIES
+from repro.fuzz.runner import FuzzSettings, run_fuzz
+
+REPEATS = 5
+CAMPAIGN_PAIRS_PER_FAMILY = 75
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+# Statistics keys only ever written by the DD / simulation / ZX backends.
+_BACKEND_KEYS = (
+    "max_dd_size",
+    "simulations_run",
+    "zx_rounds",
+    "stabilizer_rounds",
+)
+
+
+def overhead_cases():
+    """Equivalent pairs the pre-pass analyses but cannot decide."""
+    manhattan = manhattan_architecture()
+    ghz = algorithms.ghz_state(12)
+    graphstate = algorithms.graph_state(10, seed=0)
+    qft = algorithms.qft(5)
+    return [
+        ("ghz_12_compiled", ghz, compile_circuit(ghz, manhattan)),
+        (
+            "graphstate_10_compiled",
+            graphstate,
+            compile_circuit(graphstate, manhattan),
+        ),
+        ("qft_5_routed", qft, compile_circuit(qft, line_architecture(5))),
+    ]
+
+
+def _wide_ghz(active, total):
+    """GHZ on the first ``active`` wires of a ``total``-wire register."""
+    from repro.circuit.circuit import QuantumCircuit
+
+    ghz = algorithms.ghz_state(active)
+    return QuantumCircuit(total, operations=ghz.operations)
+
+
+def _fragment_pair():
+    """Three disjoint entangled blocks; the last one broken in b."""
+    from repro.circuit.circuit import QuantumCircuit
+
+    pair = []
+    for broken in (False, True):
+        circuit = QuantumCircuit(12)
+        circuit.h(0)
+        for q in range(5):
+            circuit.cx(q, q + 1)
+        for base in (6, 9):
+            circuit.h(base)
+            circuit.cx(base, base + 1)
+            circuit.cx(base + 1, base + 2)
+        if broken:
+            circuit.z(11)  # breaks the {9,10,11} fragment only
+        pair.append(circuit)
+    return tuple(pair)
+
+
+def _phase_poly_pair():
+    """A {CNOT, T, Rz} ladder with one planted rotation mismatch."""
+    from repro.circuit.circuit import QuantumCircuit
+
+    pair = []
+    for broken in (False, True):
+        circuit = QuantumCircuit(8)
+        for q in range(7):
+            circuit.cx(q, q + 1)
+            circuit.t(q + 1)
+        for q in range(7, 0, -1):
+            circuit.cx(q - 1, q)
+            circuit.rz(0.25, q - 1)
+        if broken:
+            circuit.rz(0.125, 7)  # phase-polynomial term mismatch
+        pair.append(circuit)
+    return tuple(pair)
+
+
+def short_circuit_cases():
+    """Non-equivalent pairs each analysis pass decides statically."""
+    idle_a = _wide_ghz(11, 12)
+    idle_b = _wide_ghz(11, 12)
+    idle_b.x(11)  # planted error on the idle wire
+    return [
+        ("idle_wire_witness", (idle_a, idle_b)),
+        ("fragment_witness", _fragment_pair()),
+        ("phase_poly_witness", _phase_poly_pair()),
+    ]
+
+
+def timed_run(circuit1, circuit2, static):
+    config = Configuration(strategy="combined", seed=0, static_analysis=static)
+    best = math.inf
+    result = None
+    for _ in range(REPEATS):
+        manager = EquivalenceCheckingManager(circuit1, circuit2, config)
+        start = time.perf_counter()
+        result = manager.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    overhead = []
+    for name, circuit1, circuit2 in overhead_cases():
+        off_time, off_result = timed_run(circuit1, circuit2, static=False)
+        on_time, on_result = timed_run(circuit1, circuit2, static=True)
+        overhead_pct = 100.0 * (on_time - off_time) / off_time
+        overhead.append({
+            "case": name,
+            "num_qubits": max(circuit1.num_qubits, circuit2.num_qubits),
+            "num_gates": [len(circuit1), len(circuit2)],
+            "off_seconds": round(off_time, 6),
+            "on_seconds": round(on_time, 6),
+            "overhead_pct": round(overhead_pct, 3),
+            "verdict_off": off_result.equivalence.value,
+            "verdict_on": on_result.equivalence.value,
+            "verdicts_agree":
+                off_result.equivalence == on_result.equivalence,
+        })
+        print(
+            f"{name:28s} off {off_time:7.4f}s  on {on_time:7.4f}s  "
+            f"overhead {overhead_pct:+6.2f}%"
+        )
+        assert overhead[-1]["verdicts_agree"], f"{name}: verdicts diverged"
+
+    shorts = []
+    for name, (circuit1, circuit2) in short_circuit_cases():
+        off_time, off_result = timed_run(circuit1, circuit2, static=False)
+        on_time, on_result = timed_run(circuit1, circuit2, static=True)
+        stats = on_result.statistics
+        backend_untouched = not any(key in stats for key in _BACKEND_KEYS)
+        speedup = off_time / on_time if on_time else math.inf
+        shorts.append({
+            "case": name,
+            "num_qubits": max(circuit1.num_qubits, circuit2.num_qubits),
+            "num_gates": [len(circuit1), len(circuit2)],
+            "checker_seconds": round(off_time, 6),
+            "prepass_seconds": round(on_time, 6),
+            "speedup": round(speedup, 3),
+            "witness_kind": stats["analysis"]["witness"]["kind"],
+            "verdict_off": off_result.equivalence.value,
+            "verdict_on": on_result.equivalence.value,
+            "backend_untouched": backend_untouched,
+        })
+        print(
+            f"{name:28s} checker {off_time:7.4f}s  prepass {on_time:7.4f}s  "
+            f"{speedup:6.1f}x  witness={shorts[-1]['witness_kind']}"
+        )
+        assert on_result.equivalence.value == "not_equivalent", name
+        assert off_result.equivalence.value == "not_equivalent", name
+        assert backend_untouched, (
+            f"{name}: short-circuit still constructed a backend object"
+        )
+
+    campaigns = []
+    with tempfile.TemporaryDirectory() as corpus:
+        for family in FAMILIES:
+            outcome = run_fuzz(FuzzSettings(
+                seed=20260806,
+                budget=CAMPAIGN_PAIRS_PER_FAMILY,
+                family=family,
+                corpus_dir=corpus,
+            ))
+            campaigns.append({
+                "family": family,
+                "pairs_run": outcome.pairs_run,
+                "labels": dict(sorted(outcome.label_counts.items())),
+                "disagreements": len(outcome.disagreements),
+                "seconds": round(outcome.seconds, 3),
+            })
+            print(
+                f"fuzz {family:16s} {outcome.pairs_run:3d} pairs  "
+                f"{len(outcome.disagreements)} disagreements  "
+                f"{outcome.seconds:6.1f}s"
+            )
+            assert not outcome.disagreements, (
+                f"{family}: analyzer participant disagreed with a checker"
+            )
+
+    max_overhead = max(case["overhead_pct"] for case in overhead)
+    report = {
+        "benchmark": "analysis",
+        "description": (
+            "Static pre-pass overhead on undecidable equivalent pairs and "
+            "short-circuit speedups on statically decidable NEQ pairs"
+        ),
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "overhead_cases": overhead,
+        "short_circuit_cases": shorts,
+        "fuzz_campaign": {
+            "participants": 7,
+            "pairs_per_family": CAMPAIGN_PAIRS_PER_FAMILY,
+            "families": campaigns,
+            "total_pairs": sum(c["pairs_run"] for c in campaigns),
+            "total_disagreements":
+                sum(c["disagreements"] for c in campaigns),
+        },
+        "summary": {
+            "max_overhead_pct": round(max_overhead, 3),
+            "overhead_within_budget": max_overhead < 5.0,
+            "min_short_circuit_speedup":
+                round(min(case["speedup"] for case in shorts), 3),
+            "all_short_circuits_skip_backends":
+                all(case["backend_untouched"] for case in shorts),
+            "fuzz_pairs_clean":
+                sum(c["pairs_run"] for c in campaigns),
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(
+        f"max overhead {report['summary']['max_overhead_pct']}%, "
+        "min short-circuit speedup "
+        f"{report['summary']['min_short_circuit_speedup']}x"
+    )
+    assert report["summary"]["overhead_within_budget"], (
+        "pre-pass overhead exceeded the 5% budget"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

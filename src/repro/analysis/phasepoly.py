@@ -1,0 +1,302 @@
+"""Phase-polynomial canonical fingerprints (static pass 4).
+
+Circuits over the fragment {CNOT, X, SWAP} ∪ {Z, S, S†, T, T†, Rz, P}
+act on basis states as an *affine parity map* decorated with phases:
+
+.. math::
+
+    |x⟩ \\mapsto e^{iφ(x)} |Ax ⊕ b⟩,\\qquad
+    φ(x) = \\sum_y θ_y · [y·x ⊕ c_y]
+
+where each phase term attaches an angle to one parity of the inputs.
+Tracking ``(mask, const)`` per wire through the linear gates and folding
+every diagonal phase gate onto the parity its wire currently carries
+canonicalizes the circuit into ``(affine map, parity→angle table)`` in a
+single scan — the classic phase-polynomial normal form.
+
+Comparison semantics (everything here must stay *sound*):
+
+* Different affine maps ⇒ some basis state is mapped to two different
+  basis states ⇒ ``NOT_EQUIVALENT``, with a concrete input witness.
+* Identical affine maps and per-term angle deltas all ≡ 0 (mod 2π)
+  ⇒ ``EQUIVALENT`` up to global phase — an exact proof.
+* Otherwise the term-wise deltas are **not** decisive on their own:
+  parities are linearly *dependent* as ±1-valued functions, e.g. angles
+  (π, π, π) on (y₁, y₂, y₁⊕y₂) compose to the constant 2π.  The
+  comparator therefore evaluates the delta polynomial over the full
+  span of the involved parities (2^rank assignments, Gray-code order)
+  and only claims ``NOT_EQUIVALENT`` when a concrete input violates the
+  global-phase relation — or equivalence when every assignment lands on
+  0 (mod 2π).  A rank/budget cap returns "no verdict" instead of
+  guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.gateset import (
+    _FIXED_PHASE_ANGLES,
+    _PARAM_PHASE_GATES,
+    is_phase_poly_operation,
+)
+from repro.circuit.circuit import QuantumCircuit
+
+_TWO_PI = 2.0 * math.pi
+
+#: Angle deltas below this count as exactly zero (float noise from
+#: re-associated sums of identical literals).
+_EQ_TOLERANCE = 1e-7
+
+#: Assignment deviations above this prove non-equivalence (the smallest
+#: planted diagonal errors in the fuzzer are ~0.05 rad).
+_NEQ_TOLERANCE = 1e-4
+
+#: Give up (no verdict) when enumerating the delta span would exceed
+#: this many term updates — soundness costs nothing, only precision.
+_ENUMERATION_BUDGET = 2_000_000
+
+
+def _wrap_angle(angle: float) -> float:
+    """Map an angle to the centered interval (-π, π]."""
+    wrapped = math.fmod(angle, _TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += _TWO_PI
+    return wrapped
+
+
+@dataclass(frozen=True)
+class PhasePolynomial:
+    """Canonical form of a phase-polynomial circuit.
+
+    Attributes:
+        num_qubits: Width of the (logical-form) circuit.
+        wires: Final affine map — per wire, ``(mask, const)`` meaning
+            the output wire carries parity ``mask·x ⊕ const``.
+        phases: Parity mask → accumulated conditional angle (mod 2π is
+            **not** applied here; the comparator wraps deltas).  The
+            all-zero mask never appears — constant phases are global.
+    """
+
+    num_qubits: int
+    wires: Tuple[Tuple[int, int], ...]
+    phases: Tuple[Tuple[int, float], ...]
+
+    def phase_table(self) -> Dict[int, float]:
+        return dict(self.phases)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_qubits": self.num_qubits,
+            "wires": [list(pair) for pair in self.wires],
+            "phase_terms": len(self.phases),
+        }
+
+
+def extract_phase_polynomial(
+    circuit: QuantumCircuit,
+) -> Optional[PhasePolynomial]:
+    """Canonicalize a circuit, or return ``None`` if it leaves the fragment.
+
+    The scan is O(gates); phase-gate folding distinguishes ``rz`` (whose
+    conditional part equals ``p`` up to a dropped global phase) from the
+    fixed-angle Z-basis gates.
+    """
+    n = circuit.num_qubits
+    masks = [1 << i for i in range(n)]
+    consts = [0] * n
+    phases: Dict[int, float] = {}
+
+    def add_phase(wire: int, angle: float) -> None:
+        mask = masks[wire]
+        if consts[wire]:
+            # θ·[y ⊕ 1] = θ − θ·[y]: drop the global θ, negate the term.
+            angle = -angle
+        if mask:
+            phases[mask] = phases.get(mask, 0.0) + angle
+
+    for op in circuit:
+        if not is_phase_poly_operation(op):
+            return None
+        if op.name == "x":
+            if op.controls:
+                control, target = op.controls[0], op.targets[0]
+                masks[target] ^= masks[control]
+                consts[target] ^= consts[control]
+            else:
+                consts[op.targets[0]] ^= 1
+        elif op.name == "swap":
+            a, b = op.targets
+            masks[a], masks[b] = masks[b], masks[a]
+            consts[a], consts[b] = consts[b], consts[a]
+        elif op.name in _FIXED_PHASE_ANGLES:
+            add_phase(op.targets[0], _FIXED_PHASE_ANGLES[op.name])
+        elif op.name in _PARAM_PHASE_GATES:
+            add_phase(op.targets[0], op.params[0])
+        # "id" contributes nothing.
+    canonical = tuple(
+        (mask, angle)
+        for mask, angle in sorted(phases.items())
+        if abs(_wrap_angle(angle)) > 0.0
+    )
+    return PhasePolynomial(
+        num_qubits=n,
+        wires=tuple(zip(masks, consts)),
+        phases=canonical,
+    )
+
+
+def _affine_witness_input(
+    wires1: Tuple[Tuple[int, int], ...], wires2: Tuple[Tuple[int, int], ...]
+) -> Tuple[int, int]:
+    """A wire and basis input on which the affine maps visibly differ."""
+    for wire, ((m1, c1), (m2, c2)) in enumerate(zip(wires1, wires2)):
+        if c1 != c2 and m1 == m2:
+            return wire, 0
+        if m1 != m2:
+            differing = (m1 ^ m2) & -(m1 ^ m2)  # lowest differing bit
+            return wire, differing
+    for wire, ((_m1, c1), (_m2, c2)) in enumerate(zip(wires1, wires2)):
+        if c1 != c2:
+            return wire, 0
+    raise AssertionError("affine maps do not differ")
+
+
+def _rank_basis(vectors: List[int]) -> List[Tuple[int, int]]:
+    """Greedy F₂ basis of packed bit-vectors: ``(original, reduced)``."""
+    basis: List[Tuple[int, int]] = []
+    for vector in vectors:
+        reduced = vector
+        for _, pivot in basis:
+            reduced = min(reduced, reduced ^ pivot)
+        if reduced:
+            basis.append((vector, reduced))
+    return basis
+
+
+def compare_phase_polynomials(
+    poly1: PhasePolynomial, poly2: PhasePolynomial
+) -> Tuple[Optional[str], Dict[str, object]]:
+    """Sound three-way comparison of two canonical forms.
+
+    Returns ``(verdict, details)`` with verdict one of
+    ``"not_equivalent"``, ``"equivalent_up_to_global_phase"`` or ``None``
+    (no sound conclusion).  ``details`` names the deciding structure —
+    for non-equivalence, a concrete basis-state input exhibiting either
+    a basis-state mismatch or a relative-phase deviation.
+    """
+    details: Dict[str, object] = {"pass": "phase_polynomial"}
+    if poly1.num_qubits != poly2.num_qubits:
+        details["kind"] = "width_mismatch"
+        return None, details
+    if poly1.wires != poly2.wires:
+        wire, witness_input = _affine_witness_input(poly1.wires, poly2.wires)
+        details.update(
+            {
+                "kind": "affine_map_mismatch",
+                "wire": wire,
+                "input": witness_input,
+            }
+        )
+        return "not_equivalent", details
+
+    table1, table2 = poly1.phase_table(), poly2.phase_table()
+    deltas: List[Tuple[int, float]] = []
+    for mask in sorted(set(table1) | set(table2)):
+        delta = _wrap_angle(table1.get(mask, 0.0) - table2.get(mask, 0.0))
+        if abs(delta) > _EQ_TOLERANCE:
+            deltas.append((mask, delta))
+    if not deltas:
+        details["kind"] = "identical_phase_polynomial"
+        return "equivalent_up_to_global_phase", details
+
+    # The deltas as functions x ↦ delta·[mask·x] are only independent
+    # when the masks are; enumerate the achievable parity assignments.
+    # Input bit b hits term j iff bit b of mask_j is set: build per-bit
+    # columns over the term indices and a basis of their span.
+    columns: Dict[int, int] = {}
+    for j, (mask, _delta) in enumerate(deltas):
+        bit = 0
+        while mask:
+            if mask & 1:
+                columns[bit] = columns.get(bit, 0) | (1 << j)
+            mask >>= 1
+            bit += 1
+    basis_bits: List[int] = []
+    basis_columns: List[int] = []
+    for bit, column in sorted(columns.items()):
+        reduced = column
+        for pivot in [p for _, p in _rank_basis(basis_columns)]:
+            reduced = min(reduced, reduced ^ pivot)
+        if reduced:
+            basis_bits.append(bit)
+            basis_columns.append(column)
+    rank = len(basis_columns)
+    details["phase_terms_differing"] = len(deltas)
+    details["rank"] = rank
+    if (1 << rank) * max(1, len(deltas)) > _ENUMERATION_BUDGET:
+        details["kind"] = "enumeration_budget_exceeded"
+        return None, details
+
+    # Gray-code walk over the 2^rank assignments: each step toggles one
+    # basis column, flipping the membership of its terms in the sum.
+    assignment = 0
+    total = 0.0
+    input_bits = 0
+    max_deviation = 0.0
+    code = 0
+    for step in range(1, 1 << rank):
+        gray = step ^ (step >> 1)
+        toggled_index = (gray ^ code).bit_length() - 1
+        code = gray
+        column = basis_columns[toggled_index]
+        bits = column
+        while bits:
+            j = (bits & -bits).bit_length() - 1
+            if assignment & (1 << j):
+                total -= deltas[j][1]
+            else:
+                total += deltas[j][1]
+            bits &= bits - 1
+        assignment ^= column
+        input_bits ^= 1 << basis_bits[toggled_index]
+        deviation = abs(_wrap_angle(total))
+        max_deviation = max(max_deviation, deviation)
+        if deviation > _NEQ_TOLERANCE:
+            details.update(
+                {
+                    "kind": "relative_phase_mismatch",
+                    "input": input_bits,
+                    "phase_deviation": round(deviation, 9),
+                }
+            )
+            return "not_equivalent", details
+    if max_deviation <= _EQ_TOLERANCE * (1 << min(rank, 20)):
+        details["kind"] = "phase_deltas_cancel"
+        return "equivalent_up_to_global_phase", details
+    details["kind"] = "deviation_within_tolerance_gap"
+    details["max_deviation"] = round(max_deviation, 9)
+    return None, details
+
+
+def phase_polynomial_check(
+    logical1: QuantumCircuit, logical2: QuantumCircuit
+) -> Tuple[Optional[str], Dict[str, object]]:
+    """End-to-end pass: canonicalize both sides and compare.
+
+    Returns ``(verdict, details)``; verdict ``None`` when either circuit
+    leaves the fragment or the comparison is inconclusive.
+    """
+    poly1 = extract_phase_polynomial(logical1)
+    if poly1 is None:
+        return None, {"pass": "phase_polynomial", "kind": "not_applicable"}
+    poly2 = extract_phase_polynomial(logical2)
+    if poly2 is None:
+        return None, {"pass": "phase_polynomial", "kind": "not_applicable"}
+    verdict, details = compare_phase_polynomials(poly1, poly2)
+    details["terms"] = [len(poly1.phases), len(poly2.phases)]
+    return verdict, details

@@ -4,6 +4,7 @@ Mirrors the way the paper's tools are driven in practice ("Using either
 method merely requires a few lines of code") as a shell command::
 
     python -m repro verify original.qasm compiled.qasm --strategy combined
+    python -m repro analyze original.qasm compiled.qasm
     python -m repro compile circuit.qasm --device line:5 -o compiled.qasm
     python -m repro stats circuit.qasm
     python -m repro bench --use-case compiled --scale small
@@ -92,6 +93,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         config_kwargs["compute_table_size"] = args.compute_table_size or None
     configuration = Configuration(
         strategy=args.strategy,
+        static_analysis=not args.no_static_analysis,
         oracle=args.oracle,
         num_simulations=args.simulations,
         stimuli_type=args.stimuli,
@@ -126,6 +128,39 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if result.equivalence is Equivalence.NOT_EQUIVALENT:
         return 1
     return 2
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        analyze_pair,
+        circuit_depth,
+        format_report,
+        interaction_fingerprint,
+        profile_gate_set,
+    )
+    from repro.ec import Configuration
+
+    circuit1 = _load_circuit(args.circuit1, args.layout1)
+    if args.circuit2 is None:
+        # Single-circuit mode: report the static profile only.
+        profile = profile_gate_set(circuit1)
+        payload = profile.to_dict()
+        payload["depth"] = circuit_depth(circuit1)
+        payload["interaction_fingerprint"] = interaction_fingerprint(circuit1)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"circuit:   {circuit1.name} ({circuit1.num_qubits} qubits)")
+            _print_statistics(payload)
+        return 0
+    circuit2 = _load_circuit(args.circuit2, args.layout2)
+    configuration = Configuration(timeout=args.timeout, seed=args.seed)
+    report = analyze_pair(circuit1, circuit2, configuration)
+    if args.json:
+        print(json.dumps(report.detail_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 1 if report.is_sound_neq else 0
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -234,8 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="combined",
         choices=(
             "construction", "alternating", "simulation", "zx", "combined",
-            "stabilizer", "state",
+            "stabilizer", "state", "analysis",
         ),
+    )
+    verify.add_argument(
+        "--no-static-analysis", action="store_true",
+        help="skip the static analysis pre-pass (sound NEQ short-circuit "
+        "and strategy advisor) in front of the configured checker",
     )
     verify.add_argument(
         "--oracle", default="proportional",
@@ -280,6 +320,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=_cmd_verify)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis of one circuit (profile) or a pair "
+        "(sound pre-checks + strategy advice; exit 1 = proven "
+        "non-equivalent, 0 otherwise)",
+    )
+    analyze.add_argument("circuit1")
+    analyze.add_argument("circuit2", nargs="?", default=None)
+    analyze.add_argument("--layout1", default=None)
+    analyze.add_argument("--layout2", default=None)
+    analyze.add_argument("--timeout", type=float, default=None)
+    analyze.add_argument("--seed", type=int, default=None)
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full nested report as JSON",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     compile_cmd = sub.add_parser("compile", help="compile a QASM circuit")
     compile_cmd.add_argument("circuit")

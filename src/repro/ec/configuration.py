@@ -17,8 +17,15 @@ class Configuration:
         strategy: ``"construction"``, ``"alternating"``, ``"simulation"``,
             ``"zx"``, ``"combined"`` (the paper's QCEC setup) or
             ``"stabilizer"`` (exact Clifford-only pre-check; a
-            reproduction extension) or ``"state"`` (equivalence of the
-            prepared states from ``|0...0>`` only).
+            reproduction extension), ``"state"`` (equivalence of the
+            prepared states from ``|0...0>`` only) or ``"analysis"``
+            (static passes only — sound verdicts or
+            ``NO_INFORMATION``, see :mod:`repro.analysis`).
+        static_analysis: Run the static analysis pre-pass before any
+            checker (default).  A sound non-equivalence witness
+            short-circuits the check to ``NOT_EQUIVALENT`` and the cost
+            model's advice reorders the ``combined`` schedule; disable
+            via CLI ``--no-static-analysis`` for A/B measurements.
         oracle: Gate-selection oracle of the alternating scheme —
             ``"naive"`` (strict 1:1 alternation), ``"proportional"``
             (alternation weighted by the gate-count ratio, QCEC's default
@@ -73,6 +80,7 @@ class Configuration:
     """
 
     strategy: str = "combined"
+    static_analysis: bool = True
     oracle: str = "proportional"
     num_simulations: int = 16
     stimuli_type: str = "classical"
@@ -108,7 +116,7 @@ class Configuration:
         """Raise ``ValueError`` on inconsistent settings."""
         strategies = {
             "construction", "alternating", "simulation", "zx", "combined",
-            "stabilizer", "state",
+            "stabilizer", "state", "analysis",
         }
         if self.strategy not in strategies:
             raise ValueError(f"unknown strategy {self.strategy!r}")

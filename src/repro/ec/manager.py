@@ -95,7 +95,12 @@ class EquivalenceCheckingManager:
             self.configuration = original
 
     def _run_strategy(self, start: float) -> EquivalenceCheckingResult:
-        """Dispatch to the configured checker (exceptions propagate)."""
+        """Dispatch to the configured checker (exceptions propagate).
+
+        This is the single dispatch seam: both :meth:`run` and
+        :meth:`run_single` land here, so the static pre-pass below is
+        exercised identically by users and by the differential fuzzer.
+        """
         config = self.configuration
         deadline = (
             start + config.timeout if config.timeout is not None else None
@@ -107,48 +112,117 @@ class EquivalenceCheckingManager:
         from repro.harness import chaos
 
         chaos.maybe_trigger()
-        if config.strategy == "construction":
+        if config.strategy == "analysis":
+            # The standalone static-analysis strategy (also the fuzz
+            # oracle's analyzer participant).  Imported lazily like the
+            # chaos seam: repro.analysis depends on repro.ec.
+            from repro import analysis
+
+            return analysis.analysis_check(
+                self.circuit1, self.circuit2, config, deadline
+            )
+        advice = None
+        analysis_block: Optional[dict] = None
+        # The pre-pass reasons about full unitary equivalence, which the
+        # "state" strategy deliberately weakens (states from |0...0>
+        # only) — a sound unitary-level NEQ witness could contradict a
+        # correct state-level EQUIVALENT verdict, so "state" opts out.
+        if config.static_analysis and config.strategy != "state":
+            from repro import analysis
+
+            short_circuit, report = analysis.run_prepass(
+                self.circuit1, self.circuit2, config, start, deadline
+            )
+            if short_circuit is not None:
+                return short_circuit
+            if report is not None:
+                advice = report.advice
+                analysis_block = report.to_dict()
+        result = self._dispatch_checker(config.strategy, start, deadline, advice)
+        if analysis_block is not None:
+            result.statistics.setdefault("analysis", analysis_block)
+        return result
+
+    def _dispatch_checker(
+        self,
+        strategy: str,
+        start: float,
+        deadline: Optional[float],
+        advice=None,
+    ) -> EquivalenceCheckingResult:
+        """Run the named checker (the pre-pass has already happened)."""
+        config = self.configuration
+        if strategy == "construction":
             return ConstructionChecker(
                 self.circuit1, self.circuit2, config
             ).run(deadline)
-        if config.strategy == "alternating":
+        if strategy == "alternating":
             return AlternatingChecker(
                 self.circuit1, self.circuit2, config
             ).run(deadline)
-        if config.strategy == "simulation":
+        if strategy == "simulation":
             return simulation_check(
                 self.circuit1, self.circuit2, config, deadline
             )
-        if config.strategy == "zx":
+        if strategy == "zx":
             return zx_check(self.circuit1, self.circuit2, config, deadline)
-        if config.strategy == "stabilizer":
+        if strategy == "stabilizer":
             return stabilizer_check(
                 self.circuit1, self.circuit2, config, deadline
             )
-        if config.strategy == "state":
+        if strategy == "state":
             return state_check(
                 self.circuit1, self.circuit2, config, deadline
             )
-        return self._run_combined(start, deadline)
+        return self._run_combined(start, deadline, advice)
 
     def _run_combined(
-        self, start: float, deadline: Optional[float]
+        self, start: float, deadline: Optional[float], advice=None
     ) -> EquivalenceCheckingResult:
-        """Simulation for fast falsification, then the alternating proof."""
+        """Run the combined schedule: falsify cheaply, then prove.
+
+        The default schedule is simulation (fast falsification) followed
+        by the alternating proof.  When the static pre-pass produced
+        advice, its schedule is used instead — the advisor only ever
+        *prepends* stages (e.g. ``stabilizer`` for Clifford pairs), so
+        the historic worst-case behaviour is preserved.  A stage's
+        result is final when it is a proof, or a ``NOT_EQUIVALENT``
+        falsification from simulation; otherwise the next stage runs.
+        """
         config = self.configuration
-        sim_result = simulation_check(
-            self.circuit1, self.circuit2, config, deadline
+        schedule = (
+            tuple(advice.schedule)
+            if advice is not None
+            else ("simulation", "alternating")
         )
-        if sim_result.equivalence is Equivalence.NOT_EQUIVALENT:
-            sim_result.strategy = "combined"
-            sim_result.time = time.monotonic() - start
-            return sim_result
-        alt_result = AlternatingChecker(
-            self.circuit1, self.circuit2, config
-        ).run(deadline)
-        alt_result.strategy = "combined"
-        alt_result.statistics["simulations_run"] = sim_result.statistics[
-            "simulations_run"
-        ]
-        alt_result.time = time.monotonic() - start
-        return alt_result
+        simulations_run: Optional[object] = None
+        result: Optional[EquivalenceCheckingResult] = None
+        for stage in schedule:
+            if stage == "simulation":
+                result = simulation_check(
+                    self.circuit1, self.circuit2, config, deadline
+                )
+                simulations_run = result.statistics.get("simulations_run")
+                if result.equivalence is Equivalence.NOT_EQUIVALENT:
+                    break
+            elif stage == "alternating":
+                result = AlternatingChecker(
+                    self.circuit1, self.circuit2, config
+                ).run(deadline)
+                if result.proven:
+                    break
+            elif stage == "stabilizer":
+                result = stabilizer_check(
+                    self.circuit1, self.circuit2, config, deadline
+                )
+                if result.proven:
+                    break
+            else:  # pragma: no cover - advisor emits only known stages
+                raise ValueError(f"unknown combined stage {stage!r}")
+        assert result is not None  # schedules are never empty
+        result.strategy = "combined"
+        if simulations_run is not None:
+            result.statistics.setdefault("simulations_run", simulations_run)
+        result.statistics.setdefault("combined_schedule", list(schedule))
+        result.time = time.monotonic() - start
+        return result

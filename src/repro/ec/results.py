@@ -71,10 +71,11 @@ class EquivalenceCheckingResult:
     def from_dict(cls, payload: Dict[str, object]) -> "EquivalenceCheckingResult":
         """Reconstruct a result serialized with :meth:`to_dict`."""
         statistics = payload.get("statistics")
+        time_value = payload.get("time", 0.0)
         return cls(
             Equivalence(payload["equivalence"]),
             str(payload.get("strategy", "")),
-            float(payload.get("time", 0.0)),
+            float(time_value) if isinstance(time_value, (int, float)) else 0.0,
             dict(statistics) if isinstance(statistics, dict) else {},
         )
 

@@ -106,6 +106,7 @@ def generate_stimulus(
         raise ValueError(
             f"unknown stimuli type {kind!r}; pick one of {STIMULI_TYPES}"
         )
+    # repro: allow(seeded-rng): explicit opt-in fallback for interactive use; every checker path passes a seeded rng
     return _GENERATORS[kind](num_qubits, data_qubits, rng or random.Random())
 
 

@@ -44,15 +44,27 @@ from repro.ec.results import Equivalence, EquivalenceCheckingResult
 from repro.fuzz.generator import LabeledPair
 from repro.fuzz.mutators import LABEL_EQUIVALENT, LABEL_NOT_EQUIVALENT
 
-#: The six strategies of the differential matrix: name → configuration
-#: overrides applied on top of the oracle's base configuration.
+#: The strategies of the differential matrix: name → configuration
+#: overrides applied on top of the oracle's base configuration.  The six
+#: checker participants run with ``static_analysis=False`` so their
+#: verdicts stay independent of the analyzer; the seventh participant IS
+#: the static analyzer, so a sound-but-wrong static witness shows up as
+#: an ordinary ``false_positive``-style disagreement against dense
+#: ground truth and gets shrunk and persisted like any checker bug.
 STRATEGY_MATRIX: Tuple[Tuple[str, Dict[str, object]], ...] = (
-    ("dd_alternating", {"strategy": "alternating"}),
-    ("dd_reference", {"strategy": "construction"}),
-    ("zx_incremental", {"strategy": "zx", "incremental_zx": True}),
-    ("zx_legacy", {"strategy": "zx", "incremental_zx": False}),
-    ("stabilizer", {"strategy": "stabilizer"}),
-    ("simulation", {"strategy": "simulation"}),
+    ("dd_alternating", {"strategy": "alternating", "static_analysis": False}),
+    ("dd_reference", {"strategy": "construction", "static_analysis": False}),
+    (
+        "zx_incremental",
+        {"strategy": "zx", "incremental_zx": True, "static_analysis": False},
+    ),
+    (
+        "zx_legacy",
+        {"strategy": "zx", "incremental_zx": False, "static_analysis": False},
+    ),
+    ("stabilizer", {"strategy": "stabilizer", "static_analysis": False}),
+    ("simulation", {"strategy": "simulation", "static_analysis": False}),
+    ("static_analysis", {"strategy": "analysis"}),
 )
 
 #: Verdicts that constitute a *proof* of equivalence.

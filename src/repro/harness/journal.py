@@ -16,20 +16,24 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from types import TracebackType
+from typing import Dict, Optional, Tuple, Type, Union
 
 _MAGIC = "repro-journal"
 _VERSION = 1
+
+#: One replayed cell: a JSON object keyed by statistic name.
+Payload = Dict[str, object]
 
 
 class JournalMismatch(ValueError):
     """A resumed journal's metadata does not match the current run."""
 
 
-def _load(path: Path) -> Tuple[Dict[str, object], Dict[str, dict], int]:
+def _load(path: Path) -> Tuple[Dict[str, object], Dict[str, Payload], int]:
     """Replay a journal file: (metadata, key -> payload, corrupt lines)."""
     metadata: Dict[str, object] = {}
-    completed: Dict[str, dict] = {}
+    completed: Dict[str, Payload] = {}
     corrupt = 0
     with path.open() as handle:
         for index, line in enumerate(handle):
@@ -45,11 +49,13 @@ def _load(path: Path) -> Tuple[Dict[str, object], Dict[str, dict], int]:
                 corrupt += 1
                 continue
             if index == 0 and record.get("journal") == _MAGIC:
-                metadata = record.get("metadata") or {}
+                header = record.get("metadata")
+                metadata = header if isinstance(header, dict) else {}
                 continue
             key = record.get("key")
             if isinstance(key, str):
-                completed[key] = record.get("payload") or {}
+                payload = record.get("payload")
+                completed[key] = payload if isinstance(payload, dict) else {}
             else:
                 corrupt += 1
     return metadata, completed, corrupt
@@ -68,13 +74,13 @@ class Journal:
 
     def __init__(
         self,
-        path,
+        path: Union[str, os.PathLike],
         metadata: Optional[Dict[str, object]] = None,
         resume: bool = False,
     ) -> None:
         self.path = Path(path)
         self.metadata: Dict[str, object] = dict(metadata or {})
-        self.completed: Dict[str, dict] = {}
+        self.completed: Dict[str, Payload] = {}
         self.corrupt_lines = 0
         if resume and self.path.exists():
             existing, completed, corrupt = _load(self.path)
@@ -105,12 +111,12 @@ class Journal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
-    def record(self, key: str, payload: Dict[str, object]) -> None:
+    def record(self, key: str, payload: Payload) -> None:
         """Checkpoint one completed cell (durable before returning)."""
         self._write_line({"key": key, "payload": payload})
         self.completed[key] = dict(payload)
 
-    def get(self, key: str) -> Optional[dict]:
+    def get(self, key: str) -> Optional[Payload]:
         return self.completed.get(key)
 
     def __contains__(self, key: str) -> bool:
@@ -126,5 +132,10 @@ class Journal:
     def __enter__(self) -> "Journal":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()

@@ -15,6 +15,16 @@ Everything is a plain dictionary once serialized, so it flows through
 tracking.
 """
 
-from repro.perf.counters import PerfCounters, json_safe, package_statistics
+from repro.perf.counters import (
+    COUNTER_NAMESPACES,
+    PerfCounters,
+    json_safe,
+    package_statistics,
+)
 
-__all__ = ["PerfCounters", "json_safe", "package_statistics"]
+__all__ = [
+    "COUNTER_NAMESPACES",
+    "PerfCounters",
+    "json_safe",
+    "package_statistics",
+]

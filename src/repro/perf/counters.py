@@ -14,6 +14,16 @@ from typing import Dict, Iterator
 
 from repro.dd.package import DDPackage
 
+#: Registered counter namespaces: the first dotted component of every
+#: ``PerfCounters.count`` name must appear here.  ``tools/check_repro.py``
+#: enforces this statically so dashboards never meet a typo'd or
+#: unreviewed counter family.
+COUNTER_NAMESPACES = (
+    "analysis",
+    "gate_applications",
+    "zx",
+)
+
 
 class PerfCounters:
     """Wall time per named phase plus arbitrary integer counters."""

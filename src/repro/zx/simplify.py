@@ -234,6 +234,7 @@ def id_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     while again:
         _check_deadline(deadline)
         again = False
+        # repro: allow(deadline-loop): deadline is consulted once per rescan round by the enclosing while; a per-vertex check would skew the legacy A/B baseline
         for vertex in list(diagram.vertices()):
             if vertex not in diagram._types:
                 continue
@@ -327,6 +328,7 @@ def lcomp_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     while again:
         _check_deadline(deadline)
         again = False
+        # repro: allow(deadline-loop): deadline is consulted once per rescan round by the enclosing while; a per-vertex check would skew the legacy A/B baseline
         for vertex in list(diagram.vertices()):
             if vertex not in diagram._types:
                 continue
@@ -401,6 +403,7 @@ def pivot_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     while again:
         _check_deadline(deadline)
         again = False
+        # repro: allow(deadline-loop): deadline is consulted once per rescan round by the enclosing while; a per-edge check would skew the legacy A/B baseline
         for u, v, edge_type in list(diagram.edges()):
             if u not in diagram._types or v not in diagram._types:
                 continue
@@ -497,6 +500,7 @@ def pivot_gadget_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
     while again:
         _check_deadline(deadline)
         again = False
+        # repro: allow(deadline-loop): deadline is consulted once per rescan round by the enclosing while; a per-edge check would skew the legacy A/B baseline
         for u, v, edge_type in list(diagram.edges()):
             if u not in diagram._types or v not in diagram._types:
                 continue
@@ -504,6 +508,7 @@ def pivot_gadget_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int:
                 continue  # edge toggled away by an earlier rewrite
             if diagram.edge_type(u, v) is not EdgeType.HADAMARD:
                 continue
+            # repro: allow(deadline-loop): bounded two-iteration orientation loop
             for a, b in ((u, v), (v, u)):
                 if _pivot_gadget_applicable(diagram, a, b):
                     pivot_gadget_step(diagram, a, b)
@@ -581,6 +586,7 @@ def pivot_boundary_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int
     while again:
         _check_deadline(deadline)
         again = False
+        # repro: allow(deadline-loop): deadline is consulted once per rescan round by the enclosing while; a per-edge check would skew the legacy A/B baseline
         for u, v, edge_type in list(diagram.edges()):
             if u not in diagram._types or v not in diagram._types:
                 continue
@@ -588,6 +594,7 @@ def pivot_boundary_simp(diagram: ZXDiagram, deadline=None, counters=None) -> int
                 continue  # edge toggled away by an earlier rewrite
             if diagram.edge_type(u, v) is not EdgeType.HADAMARD:
                 continue
+            # repro: allow(deadline-loop): bounded two-iteration orientation loop
             for a, b in ((u, v), (v, u)):
                 if _pivot_boundary_applicable(diagram, a, b):
                     pivot_boundary_step(diagram, a, b)

@@ -1,0 +1,66 @@
+"""Tier-1 smoke guard for the static-analysis benchmark invariants.
+
+Marked ``bench_smoke`` so it can be selected alone::
+
+    PYTHONPATH=src python -m pytest -m bench_smoke -q
+
+The full measurement lives in ``benchmarks/bench_analysis.py`` (writes
+``BENCH_analysis.json``).  Here we only guard what the benchmark relies
+on: a statically decidable pair short-circuits without touching any
+checker backend, and the pre-pass verdict agrees with the checker's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.algorithms import ghz_state
+from repro.circuit.circuit import QuantumCircuit
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.ec.results import Equivalence
+
+_BACKEND_KEYS = (
+    "max_dd_size",
+    "simulations_run",
+    "zx_rounds",
+    "stabilizer_rounds",
+)
+
+
+def _idle_wire_pair():
+    ghz = ghz_state(7)
+    a = QuantumCircuit(8, operations=ghz.operations)
+    b = QuantumCircuit(8, operations=ghz.operations)
+    b.x(7)
+    return a, b
+
+
+@pytest.mark.bench_smoke
+def test_short_circuit_skips_backends_and_stays_fast():
+    a, b = _idle_wire_pair()
+    start = time.perf_counter()
+    result = EquivalenceCheckingManager(a, b).run()
+    elapsed = time.perf_counter() - start
+
+    assert result.equivalence is Equivalence.NOT_EQUIVALENT
+    assert result.statistics["analysis"]["verdict"] == "not_equivalent"
+    for key in _BACKEND_KEYS:
+        assert key not in result.statistics, key
+    # The pre-pass alone takes ~1 ms; a full second means something broke.
+    assert elapsed < 1.0
+
+
+@pytest.mark.bench_smoke
+def test_prepass_agrees_with_the_checker():
+    a, b = _idle_wire_pair()
+    with_prepass = EquivalenceCheckingManager(
+        a, b, Configuration(seed=0, static_analysis=True)
+    ).run()
+    without = EquivalenceCheckingManager(
+        a, b, Configuration(seed=0, static_analysis=False)
+    ).run()
+    assert with_prepass.equivalence is Equivalence.NOT_EQUIVALENT
+    assert without.equivalence is Equivalence.NOT_EQUIVALENT
+    assert "analysis" not in without.statistics

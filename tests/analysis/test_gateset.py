@@ -1,0 +1,92 @@
+"""Unit tests for gate-set / fragment profiling (pass 3)."""
+
+import math
+
+from repro.analysis.gateset import (
+    FRAGMENT_CLIFFORD,
+    FRAGMENT_CLIFFORD_T,
+    FRAGMENT_EMPTY,
+    FRAGMENT_MIXED,
+    FRAGMENT_ROTATION_HEAVY,
+    is_phase_poly_operation,
+    profile_gate_set,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Operation
+
+
+class TestFragmentClassification:
+    def test_empty_circuit(self):
+        assert profile_gate_set(QuantumCircuit(3)).fragment == FRAGMENT_EMPTY
+
+    def test_clifford_only(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).s(1).cz(1, 2).swap(0, 2)
+        profile = profile_gate_set(circuit)
+        assert profile.fragment == FRAGMENT_CLIFFORD
+        assert profile.is_clifford
+        assert profile.is_clifford_t
+        assert profile.two_qubit_gates == 3
+
+    def test_clifford_t(self):
+        circuit = QuantumCircuit(2).h(0).t(0).cx(0, 1).tdg(1)
+        profile = profile_gate_set(circuit)
+        assert profile.fragment == FRAGMENT_CLIFFORD_T
+        assert not profile.is_clifford
+        assert profile.is_clifford_t
+        assert profile.t_like_gates == 2
+
+    def test_rz_at_odd_quarter_is_t_like(self):
+        circuit = QuantumCircuit(1).rz(3 * math.pi / 4, 0)
+        profile = profile_gate_set(circuit)
+        assert profile.t_like_gates == 1
+        assert profile.fragment == FRAGMENT_CLIFFORD_T
+
+    def test_rz_at_half_pi_is_clifford_not_t_like(self):
+        profile = profile_gate_set(QuantumCircuit(1).rz(math.pi / 2, 0))
+        assert profile.clifford_gates == 1
+        assert profile.t_like_gates == 0
+
+    def test_rotation_heavy(self):
+        circuit = QuantumCircuit(2)
+        for i in range(4):
+            circuit.rz(0.1 + i, 0)
+        circuit.cx(0, 1)
+        profile = profile_gate_set(circuit)
+        assert profile.fragment == FRAGMENT_ROTATION_HEAVY
+        assert profile.rotation_gates == 4
+
+    def test_mixed_with_toffoli(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        for _ in range(10):
+            circuit.h(0)
+        profile = profile_gate_set(circuit)
+        assert profile.fragment == FRAGMENT_MIXED
+        assert profile.other_non_clifford == 1
+        assert profile.multi_controlled == 1
+
+    def test_gate_counts_use_controlled_mnemonics(self):
+        circuit = QuantumCircuit(3).cx(0, 1).ccx(0, 1, 2).x(0)
+        counts = dict(profile_gate_set(circuit).gate_counts)
+        assert counts == {"cx": 1, "ccx": 1, "x": 1}
+
+
+class TestPhasePolyMembership:
+    def test_fragment_members(self):
+        assert is_phase_poly_operation(Operation("x", (0,)))
+        assert is_phase_poly_operation(Operation("x", (1,), (0,)))
+        assert is_phase_poly_operation(Operation("swap", (0, 1)))
+        assert is_phase_poly_operation(Operation("rz", (0,), params=(0.3,)))
+        assert is_phase_poly_operation(Operation("t", (0,)))
+        assert is_phase_poly_operation(Operation("z", (0,)))
+
+    def test_non_members(self):
+        assert not is_phase_poly_operation(Operation("h", (0,)))
+        assert not is_phase_poly_operation(Operation("x", (2,), (0, 1)))
+        assert not is_phase_poly_operation(Operation("rx", (0,), params=(0.3,)))
+        assert not is_phase_poly_operation(Operation("z", (1,), (0,)))
+
+    def test_profile_flag(self):
+        inside = QuantumCircuit(2).x(0).cx(0, 1).rz(0.2, 1).t(0)
+        outside = QuantumCircuit(2).h(0).cx(0, 1)
+        assert profile_gate_set(inside).phase_poly_compatible
+        assert not profile_gate_set(outside).phase_poly_compatible

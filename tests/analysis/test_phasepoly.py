@@ -1,0 +1,128 @@
+"""Unit tests for phase-polynomial canonicalization and comparison (pass 4)."""
+
+import math
+
+from repro.analysis.phasepoly import (
+    PhasePolynomial,
+    compare_phase_polynomials,
+    extract_phase_polynomial,
+    phase_polynomial_check,
+)
+from repro.circuit.circuit import QuantumCircuit
+
+_PI = math.pi
+
+
+class TestExtraction:
+    def test_outside_fragment_returns_none(self):
+        assert extract_phase_polynomial(QuantumCircuit(1).h(0)) is None
+
+    def test_cnot_updates_parity_masks(self):
+        poly = extract_phase_polynomial(QuantumCircuit(2).cx(0, 1))
+        assert poly.wires == ((0b01, 0), (0b11, 0))
+
+    def test_x_flips_the_constant(self):
+        poly = extract_phase_polynomial(QuantumCircuit(2).x(0).cx(0, 1))
+        assert poly.wires == ((0b01, 1), (0b11, 1))
+
+    def test_swap_exchanges_wires(self):
+        poly = extract_phase_polynomial(QuantumCircuit(2).swap(0, 1))
+        assert poly.wires == ((0b10, 0), (0b01, 0))
+
+    def test_phase_attaches_to_current_parity(self):
+        circuit = QuantumCircuit(2).cx(0, 1).rz(0.5, 1)
+        poly = extract_phase_polynomial(circuit)
+        assert poly.phase_table() == {0b11: 0.5}
+
+    def test_phase_on_negated_parity_negates_the_term(self):
+        # x; rz(θ); x applies θ·[y ⊕ 1] = global θ minus θ·[y].
+        circuit = QuantumCircuit(1).x(0).rz(0.5, 0).x(0)
+        poly = extract_phase_polynomial(circuit)
+        assert poly.phase_table() == {0b1: -0.5}
+
+    def test_fixed_angle_gates(self):
+        circuit = QuantumCircuit(1).t(0).tdg(0).s(0)
+        poly = extract_phase_polynomial(circuit)
+        assert math.isclose(poly.phase_table()[1], _PI / 2)
+
+    def test_full_rotation_cancels_to_no_term(self):
+        circuit = QuantumCircuit(1).s(0).s(0).s(0).s(0)
+        poly = extract_phase_polynomial(circuit)
+        assert poly.phases == ()
+
+
+class TestComparison:
+    def _poly(self, circuit):
+        poly = extract_phase_polynomial(circuit)
+        assert poly is not None
+        return poly
+
+    def test_identical_circuits_prove_equivalence(self):
+        a = self._poly(QuantumCircuit(2).cx(0, 1).t(1).cx(0, 1))
+        b = self._poly(QuantumCircuit(2).cx(0, 1).t(1).cx(0, 1))
+        verdict, details = compare_phase_polynomials(a, b)
+        assert verdict == "equivalent_up_to_global_phase"
+        assert details["kind"] == "identical_phase_polynomial"
+
+    def test_affine_mismatch_is_a_witness(self):
+        a = self._poly(QuantumCircuit(2).cx(0, 1))
+        b = self._poly(QuantumCircuit(2))
+        verdict, details = compare_phase_polynomials(a, b)
+        assert verdict == "not_equivalent"
+        assert details["kind"] == "affine_map_mismatch"
+        # The witness input must actually distinguish the two maps.
+        assert details["wire"] == 1
+
+    def test_rz_angle_mismatch(self):
+        verdict, details = phase_polynomial_check(
+            QuantumCircuit(1).rz(0.3, 0), QuantumCircuit(1).rz(0.8, 0)
+        )
+        assert verdict == "not_equivalent"
+        assert details["kind"] == "relative_phase_mismatch"
+
+    def test_pi_pi_pi_on_dependent_parities_cancels(self):
+        # The soundness trap from the design review: per-term deltas of
+        # π on y0, π on y1 and π on y0⊕y1 sum to 0 (mod 2π) on *every*
+        # input, so the circuits are equivalent up to global phase and a
+        # term-wise comparison would be WRONG to flag them.
+        a = QuantumCircuit(2).z(0).z(1)
+        b = QuantumCircuit(2).cx(0, 1).z(1).cx(0, 1)
+        verdict, details = phase_polynomial_check(a, b)
+        assert verdict == "equivalent_up_to_global_phase"
+        assert details["kind"] == "phase_deltas_cancel"
+
+    def test_dependent_parities_with_true_mismatch(self):
+        # Same parity structure but angles that do NOT cancel.
+        a = QuantumCircuit(2).rz(0.3, 0).rz(0.3, 1)
+        b = QuantumCircuit(2).cx(0, 1).rz(-0.3, 1).cx(0, 1)
+        verdict, details = phase_polynomial_check(a, b)
+        assert verdict == "not_equivalent"
+        assert details["kind"] == "relative_phase_mismatch"
+        assert details["input"] > 0
+
+    def test_independent_masks_mismatch(self):
+        a = QuantumCircuit(3).t(0).t(1).t(2)
+        b = QuantumCircuit(3).t(0).t(1)
+        verdict, details = phase_polynomial_check(a, b)
+        assert verdict == "not_equivalent"
+
+    def test_width_mismatch_gives_no_verdict(self):
+        a = PhasePolynomial(1, ((1, 0),), ())
+        b = PhasePolynomial(2, ((1, 0), (2, 0)), ())
+        verdict, _ = compare_phase_polynomials(a, b)
+        assert verdict is None
+
+    def test_enumeration_budget_degrades_to_no_verdict(self):
+        # 40 independent small deltas below the NEQ tolerance would need
+        # 2^40 assignments: the comparator must give up, not guess.
+        n = 40
+        masks = [1 << i for i in range(n)]
+        a = PhasePolynomial(
+            n,
+            tuple((m, 0) for m in masks),
+            tuple((m, 1e-5) for m in masks),
+        )
+        b = PhasePolynomial(n, tuple((m, 0) for m in masks), ())
+        verdict, details = compare_phase_polynomials(a, b)
+        assert verdict is None
+        assert details["kind"] == "enumeration_budget_exceeded"

@@ -20,7 +20,7 @@ def _oracle(**kwargs):
 
 
 class TestStrategyMatrix:
-    def test_covers_all_six_strategies(self):
+    def test_covers_all_seven_strategies(self):
         names = [name for name, _ in STRATEGY_MATRIX]
         assert names == [
             "dd_alternating",
@@ -29,7 +29,19 @@ class TestStrategyMatrix:
             "zx_legacy",
             "stabilizer",
             "simulation",
+            "static_analysis",
         ]
+
+    def test_checker_participants_isolate_the_analyzer(self):
+        # The six checker strategies must run with the static pre-pass
+        # disabled: a pre-pass short-circuit would overwrite their own
+        # verdicts and destroy the differential isolation (e.g. the
+        # simulation participant would stop reporting its own misses).
+        for name, overrides in STRATEGY_MATRIX:
+            if name == "static_analysis":
+                assert overrides["strategy"] == "analysis"
+            else:
+                assert overrides["static_analysis"] is False, name
 
     def test_stabilizer_skipped_on_non_clifford(self):
         pair = LabeledPair(
