@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck fuzz fuzz-smoke bench
+.PHONY: test lint typecheck fuzz fuzz-smoke bench bench-portfolio
 
 # Tier-1 gate: the full unit-test suite.
 test:
@@ -42,3 +42,8 @@ fuzz-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate BENCH_portfolio.json: sequential combined schedule vs the
+# concurrent strategy portfolio on Table-1-style compiled cells.
+bench-portfolio:
+	$(PYTHON) benchmarks/bench_portfolio.py

@@ -25,6 +25,10 @@ import platform
 import time
 from pathlib import Path
 
+try:
+    from benchmarks.trajectory import with_trajectory
+except ImportError:  # executed as a plain script: benchmarks/ is sys.path[0]
+    from trajectory import with_trajectory
 from repro.bench import algorithms, reversible
 from repro.compile.decompose import decompose_to_basis
 from repro.compile.optimize import optimize_circuit
@@ -137,6 +141,7 @@ def main() -> int:
                 all(case["counts_identical"] for case in cases),
         },
     }
+    report = with_trajectory(report, OUTPUT)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {OUTPUT}")
     print(

@@ -1,0 +1,43 @@
+"""Keep a perf trajectory across benchmark-report regenerations.
+
+The checked-in ``BENCH_*.json`` reports are regenerated wholesale by
+their scripts, which would silently discard the history of how the
+numbers moved as the tree evolved.  :func:`with_trajectory` preserves
+it: before a report is overwritten, the previous run's summary is
+appended to a ``trajectory`` list carried forward inside the file, so
+every regeneration adds one breadcrumb instead of erasing the past.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+
+def with_trajectory(report: Dict[str, object], output: Path) -> Dict[str, object]:
+    """Fold the previous report at ``output`` into ``report["trajectory"]``.
+
+    The trajectory entry keeps just enough to read the trend — the
+    interpreter version and the summary block — not the full case list.
+    A missing or unreadable previous report simply starts a fresh
+    trajectory.
+    """
+    trajectory = []
+    if output.exists():
+        try:
+            prior = json.loads(output.read_text())
+        except (OSError, ValueError):
+            prior = None
+        if isinstance(prior, dict) and "summary" in prior:
+            trajectory = [
+                entry for entry in prior.get("trajectory", ())
+                if isinstance(entry, dict)
+            ]
+            trajectory.append({
+                "python": prior.get("python"),
+                "summary": prior.get("summary"),
+            })
+    if trajectory:
+        report["trajectory"] = trajectory
+    return report

@@ -42,9 +42,13 @@ from repro.analysis.cost import (
     Advice,
     CostEstimate,
     DEFAULT_SCHEDULE,
+    PORTFOLIO_STRATEGIES,
+    PortfolioPlan,
+    PortfolioSlot,
     advise,
     circuit_depth,
     estimate_cost,
+    seed_portfolio,
 )
 from repro.analysis.gateset import (
     GateSetProfile,
@@ -88,7 +92,10 @@ __all__ = [
     "DEFAULT_SCHEDULE",
     "GateSetProfile",
     "MAX_FRAGMENT_QUBITS",
+    "PORTFOLIO_STRATEGIES",
     "PhasePolynomial",
+    "PortfolioPlan",
+    "PortfolioSlot",
     "StaticAnalysisReport",
     "VERDICT_EQUIVALENT_UP_TO_GLOBAL_PHASE",
     "VERDICT_NOT_EQUIVALENT",
@@ -107,6 +114,7 @@ __all__ = [
     "phase_polynomial_check",
     "profile_gate_set",
     "run_prepass",
+    "seed_portfolio",
     "support_check",
     "to_logical_form",
     "union_components",

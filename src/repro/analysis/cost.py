@@ -23,7 +23,7 @@ worst-case behaviour and the advice can never cost correctness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.gateset import (
     FRAGMENT_CLIFFORD,
@@ -34,6 +34,16 @@ from repro.circuit.circuit import QuantumCircuit
 
 #: Default combined schedule (mirrors ``_run_combined``'s historic order).
 DEFAULT_SCHEDULE: Tuple[str, ...] = ("simulation", "alternating")
+
+#: Every strategy the portfolio can race (stabilizer is gated on the
+#: gateset pass; everything else always applies).
+PORTFOLIO_STRATEGIES: Tuple[str, ...] = (
+    "alternating",
+    "construction",
+    "simulation",
+    "zx",
+    "stabilizer",
+)
 
 
 def circuit_depth(circuit: QuantumCircuit) -> int:
@@ -193,4 +203,121 @@ def advise(
         schedule=schedule,
         preferred_checker=preferred,
         rationale=tuple(rationale),
+    )
+
+
+@dataclass(frozen=True)
+class PortfolioSlot:
+    """One lane of a portfolio race.
+
+    Attributes:
+        strategy: The checker strategy this lane runs.
+        delay: Seconds after race start before the lane launches (lanes
+            are promoted early when another lane finishes undecided).
+        time_budget: Per-lane wall-clock budget in seconds, ``None`` =
+            bounded only by the shared race deadline.
+        memory_mb: RLIMIT_AS headroom for the lane's child, in MiB.
+    """
+
+    strategy: str
+    delay: float = 0.0
+    time_budget: Optional[float] = None
+    memory_mb: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "delay": round(self.delay, 6),
+            "time_budget": self.time_budget,
+            "memory_mb": self.memory_mb,
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioPlan:
+    """Advisor-seeded launch plan consumed by :mod:`repro.ec.portfolio`.
+
+    ``slots`` is the launch order: zero-delay lanes (the predicted
+    winner and the cheap simulation falsifier) race immediately, the
+    rest sit behind the head start.  The plan never *drops* a strategy
+    — staggering only defers launches, so the portfolio retains the
+    sequential schedule's worst-case completeness.
+    """
+
+    slots: Tuple[PortfolioSlot, ...]
+    preferred_checker: str
+    rationale: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "slots": [slot.to_dict() for slot in self.slots],
+            "preferred_checker": self.preferred_checker,
+            "rationale": list(self.rationale),
+        }
+
+
+def seed_portfolio(
+    profiles: Tuple[GateSetProfile, GateSetProfile],
+    estimate: CostEstimate,
+    *,
+    head_start: float = 0.25,
+    timeout: Optional[float] = None,
+    memory_mb: Optional[int] = None,
+) -> PortfolioPlan:
+    """Turn the static cost evidence into a portfolio launch plan.
+
+    The advisor's single-strategy recommendation becomes the zero-delay
+    lane; ``simulation`` always races alongside it from the start (the
+    paper's combined rationale — random stimuli are the cheapest
+    falsifier, and a sound ``NOT_EQUIVALENT`` from them ends the race).
+    Every other applicable strategy launches after ``head_start``
+    seconds, ordered cheapest-first by the cost model; ``construction``
+    always trails ``alternating`` (same paradigm, strictly larger
+    intermediate diagrams).  ``stabilizer`` joins only when the gateset
+    pass proves both circuits Clifford — on any other pair it can only
+    return ``NO_INFORMATION``.
+    """
+    advice = advise(profiles, estimate)
+    clifford = all(p.fragment == FRAGMENT_CLIFFORD for p in profiles)
+    applicable = [
+        strategy
+        for strategy in PORTFOLIO_STRATEGIES
+        if strategy != "stabilizer" or clifford
+    ]
+    preferred = advice.preferred_checker
+    if preferred not in applicable:  # pragma: no cover - defensive
+        preferred = "alternating"
+    ordered: List[str] = [preferred]
+    if "simulation" != preferred:
+        ordered.append("simulation")
+    # Remaining lanes, cheapest paradigm first per the cost model.
+    zx_first = estimate.zx_score < estimate.dd_score
+    tail_order = (
+        ("stabilizer", "zx", "alternating", "construction")
+        if zx_first
+        else ("stabilizer", "alternating", "zx", "construction")
+    )
+    ordered.extend(
+        strategy
+        for strategy in tail_order
+        if strategy in applicable and strategy not in ordered
+    )
+    slots = tuple(
+        PortfolioSlot(
+            strategy=strategy,
+            delay=0.0 if index < 2 else head_start,
+            time_budget=timeout,
+            memory_mb=memory_mb,
+        )
+        for index, strategy in enumerate(ordered)
+    )
+    rationale = advice.rationale + (
+        f"portfolio: {preferred} and simulation race from t=0, "
+        f"{len(slots) - min(2, len(slots))} companion lane(s) stagger in "
+        f"after a {head_start:g}s head start",
+    )
+    return PortfolioPlan(
+        slots=slots,
+        preferred_checker=preferred,
+        rationale=rationale,
     )

@@ -76,7 +76,11 @@ class CellResult:
     overhead).  Both render as ``>T``: a cell that blew its budget must
     never masquerade as a normal runtime.  ``failure`` is the
     :mod:`repro.errors` taxonomy kind for degraded cells, ``cached``
-    marks cells restored from a resume journal.
+    marks cells restored from a resume journal.  Portfolio cells
+    additionally carry the winning lane name (``winner``) and the
+    per-lane kill codes of the losers (``kills``) so a journaled study
+    records *which* paradigm decided every cell and what happened to
+    the rest of the race.
     """
 
     seconds: float
@@ -86,6 +90,8 @@ class CellResult:
     overrun: bool = False
     failure: Optional[str] = None
     cached: bool = False
+    winner: Optional[str] = None
+    kills: Optional[Dict[str, str]] = None
 
     def render(self, timeout: Optional[float]) -> str:
         if self.timed_out or self.overrun:
@@ -101,7 +107,7 @@ class CellResult:
 
     def to_record(self) -> Dict[str, object]:
         """JSONL journal payload for this cell."""
-        return {
+        record: Dict[str, object] = {
             "seconds": self.seconds,
             "verdict": self.verdict.value,
             "timed_out": self.timed_out,
@@ -109,12 +115,19 @@ class CellResult:
             "overrun": self.overrun,
             "failure": self.failure,
         }
+        if self.winner is not None:
+            record["winner"] = self.winner
+        if self.kills:
+            record["kills"] = dict(self.kills)
+        return record
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "CellResult":
         """Rebuild a cell checkpointed with :meth:`to_record`."""
         correct = record.get("correct")
         failure = record.get("failure")
+        winner = record.get("winner")
+        kills = record.get("kills")
         return cls(
             float(record.get("seconds", 0.0)),
             Equivalence(record["verdict"]),
@@ -123,6 +136,10 @@ class CellResult:
             overrun=bool(record.get("overrun")),
             failure=None if failure is None else str(failure),
             cached=True,
+            winner=None if winner is None else str(winner),
+            kills=None if not isinstance(kills, dict) else {
+                str(k): str(v) for k, v in kills.items()
+            },
         )
 
 
@@ -163,6 +180,7 @@ def run_instance(
     memory_limit_mb: Optional[int] = None,
     retries: int = 1,
     journal: Optional[Journal] = None,
+    portfolio: bool = False,
 ) -> TableRow:
     """Run both methods on all three configurations of one instance.
 
@@ -173,7 +191,9 @@ def run_instance(
     Either way a failing cell yields a degraded :class:`CellResult`, and
     the remaining cells still run.  With ``journal``, completed cells
     are checkpointed immediately and previously journaled cells are
-    restored instead of re-run.
+    restored instead of re-run.  With ``portfolio`` the ``t_dd`` cells
+    race all applicable strategies concurrently (the ``t_zx`` column is
+    unchanged — it remains the standalone PyZX stand-in).
     """
     cells: Dict[str, CellResult] = {}
     for config_name in CONFIGURATIONS:
@@ -189,6 +209,7 @@ def run_instance(
                     continue
             configuration = Configuration(
                 strategy=strategy,
+                portfolio=portfolio and strategy == "combined",
                 timeout=timeout,
                 seed=seed,
                 memory_limit_mb=memory_limit_mb,
@@ -216,6 +237,9 @@ def run_instance(
                 and elapsed > timeout
             )
             failure = result.failure
+            from repro.ec.portfolio import loser_kill_codes, portfolio_winner
+
+            kills = loser_kill_codes(result)
             cell = CellResult(
                 elapsed,
                 result.equivalence,
@@ -223,6 +247,8 @@ def run_instance(
                 _judge(result.equivalence, _EXPECTED[config_name]),
                 overrun=overrun,
                 failure=None if failure is None else str(failure.get("kind")),
+                winner=portfolio_winner(result),
+                kills=kills or None,
             )
             cells[f"{config_name}/{method}"] = cell
             if journal is not None:
@@ -248,6 +274,7 @@ def run_table(
     memory_limit_mb: Optional[int] = None,
     retries: int = 1,
     journal: Optional[Journal] = None,
+    portfolio: bool = False,
 ) -> List[TableRow]:
     """Build the benchmark suite and run the full table.
 
@@ -271,6 +298,7 @@ def run_table(
             memory_limit_mb=memory_limit_mb,
             retries=retries,
             journal=journal,
+            portfolio=portfolio,
         )
         rows.append(row)
         if verbose:
@@ -325,6 +353,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="additionally write the results as a Markdown report",
     )
     parser.add_argument(
+        "--portfolio", action="store_true",
+        help="run the t_dd cells as a concurrent strategy portfolio: "
+        "race sandboxed checkers, first sound verdict wins",
+    )
+    parser.add_argument(
         "--isolate", action="store_true",
         help="run every cell in a sandboxed subprocess with a hard "
         "(SIGKILL) timeout, so hangs/crashes cannot take down the run",
@@ -358,6 +391,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "scale": args.scale,
                 "timeout": args.timeout,
                 "seed": args.seed,
+                # A sequential journal must not silently resume a
+                # portfolio run (and vice versa): the flag participates
+                # in the Journal's metadata-mismatch rejection.
+                "portfolio": args.portfolio,
             },
             resume=args.resume,
         )
@@ -383,6 +420,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 memory_limit_mb=args.memory_limit,
                 retries=args.retries,
                 journal=journal,
+                portfolio=args.portfolio,
             )
     finally:
         if journal is not None:

@@ -85,6 +85,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.ec import Configuration, EquivalenceCheckingManager
     from repro.ec.results import Equivalence
 
+    if args.portfolio and args.strategy != "combined":
+        raise SystemExit(
+            "--portfolio races the combined schedule; it cannot be used "
+            f"with --strategy {args.strategy}"
+        )
     circuit1 = _load_circuit(args.circuit1, args.layout1)
     circuit2 = _load_circuit(args.circuit2, args.layout2)
     config_kwargs = {}
@@ -93,6 +98,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         config_kwargs["compute_table_size"] = args.compute_table_size or None
     configuration = Configuration(
         strategy=args.strategy,
+        portfolio=args.portfolio,
         static_analysis=not args.no_static_analysis,
         oracle=args.oracle,
         num_simulations=args.simulations,
@@ -215,6 +221,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     forwarded = ["--use-case", args.use_case, "--scale", args.scale,
                  "--timeout", str(args.timeout), "--seed", str(args.seed)]
+    if args.portfolio:
+        forwarded.append("--portfolio")
     if args.isolate:
         forwarded.append("--isolate")
     if args.memory_limit is not None:
@@ -238,6 +246,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         num_gates=args.gates,
         corpus_dir=args.corpus,
         isolate=args.isolate,
+        portfolio=args.portfolio,
         check_timeout=args.timeout,
         max_seconds=args.max_seconds,
     )
@@ -247,7 +256,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"fuzz[{summary['family']}] seed={summary['seed']}: "
         f"{summary['pairs_run']} pairs in {summary['seconds']}s, "
         f"{summary['disagreements']} disagreement(s), "
-        f"{summary['missed_by_simulation']} missed by simulation"
+        f"{summary['missed_by_simulation']} missed by simulation, "
+        f"{summary['leaked_children']} leaked child(ren)"
     )
     for disagreement in outcome.disagreements:
         print(f"  repro: {disagreement.path}")
@@ -271,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
             "construction", "alternating", "simulation", "zx", "combined",
             "stabilizer", "state", "analysis",
         ),
+    )
+    verify.add_argument(
+        "--portfolio", action="store_true",
+        help="race all applicable strategies as concurrent sandboxed "
+        "children; first sound verdict wins (requires --strategy combined)",
     )
     verify.add_argument(
         "--no-static-analysis", action="store_true",
@@ -365,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--timeout", type=float, default=60.0)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
+        "--portfolio", action="store_true",
+        help="run the t_dd cells as a concurrent strategy portfolio "
+        "(race sandboxed checkers, first sound verdict wins)",
+    )
+    bench.add_argument(
         "--isolate", action="store_true",
         help="run every cell in a sandboxed subprocess (hard timeout)",
     )
@@ -423,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--isolate", action="store_true",
         help="run every oracle check in a sandboxed subprocess",
+    )
+    fuzz.add_argument(
+        "--portfolio", action="store_true",
+        help="add the concurrent strategy portfolio as an extra oracle "
+        "participant and cross-check its verdicts",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
     return parser

@@ -77,6 +77,18 @@ class Configuration:
             lost workers) in :func:`repro.harness.run_check`.
         retry_backoff: Base of the exponential backoff between retries,
             in seconds (delay = ``retry_backoff * 2**attempt``, capped).
+        portfolio: Race all applicable strategies as concurrent
+            sandboxed children instead of running the ``combined``
+            schedule sequentially; the first *sound* verdict wins and
+            the losers are SIGKILLed (see :mod:`repro.ec.portfolio`).
+            Only meaningful with ``strategy="combined"``.
+        portfolio_head_start: Seconds the predicted winner (and the
+            cheap simulation falsifier) race alone before the remaining
+            strategies launch.  Staggering matters most on few-core
+            machines, where every extra concurrent child slows the
+            winner; a lane that finishes undecided promotes the next
+            pending launch immediately, so the head start never idles
+            the machine.
     """
 
     strategy: str = "combined"
@@ -98,6 +110,8 @@ class Configuration:
     memory_limit_mb: Optional[int] = None
     max_retries: int = 1
     retry_backoff: float = 0.1
+    portfolio: bool = False
+    portfolio_head_start: float = 0.25
 
     @staticmethod
     def _require_positive_number(name: str, value: object) -> None:
@@ -155,3 +169,28 @@ class Configuration:
                 f"max_retries must be non-negative, got {self.max_retries!r}"
             )
         self._require_positive_number("retry_backoff", self.retry_backoff)
+        if not isinstance(self.portfolio, bool):
+            raise ValueError(
+                f"portfolio must be a bool, got {self.portfolio!r}"
+            )
+        if self.portfolio and self.strategy != "combined":
+            raise ValueError(
+                "portfolio racing replaces the sequential combined "
+                f"schedule and requires strategy='combined', not "
+                f"{self.strategy!r}"
+            )
+        if isinstance(self.portfolio_head_start, bool) or not isinstance(
+            self.portfolio_head_start, (int, float)
+        ):
+            raise ValueError(
+                "portfolio_head_start must be a number, got "
+                f"{self.portfolio_head_start!r}"
+            )
+        if (
+            self.portfolio_head_start != self.portfolio_head_start
+            or self.portfolio_head_start < 0
+        ):
+            raise ValueError(
+                "portfolio_head_start must be non-negative, got "
+                f"{self.portfolio_head_start!r}"
+            )

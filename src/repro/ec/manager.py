@@ -10,6 +10,12 @@ terminated early."  CPython's GIL makes thread-parallel DD work pointless,
 so the reproduction runs the (cheap, falsifying) simulations first and the
 (expensive, proving) alternating scheme second, which preserves the
 early-exit behaviour the paper's setup achieves through parallelism.
+
+With ``configuration.portfolio`` the combined schedule is replaced by
+genuine concurrency: every applicable strategy races in its own
+sandboxed child process and the first *sound* verdict wins
+(:mod:`repro.ec.portfolio`) — process isolation sidesteps the GIL the
+same way QCEC's native threads do.
 """
 
 from __future__ import annotations
@@ -33,7 +39,14 @@ from repro.ec.zx_checker import zx_check
 
 
 class EquivalenceCheckingManager:
-    """Runs one equivalence check between two circuits."""
+    """Runs one equivalence check between two circuits.
+
+    The manager never mutates ``self.configuration``: strategy overrides
+    (:meth:`run_single`) are threaded through the dispatch chain as an
+    explicit configuration value, so one manager instance is safe to
+    drive concurrently — the portfolio racer and the differential fuzz
+    oracle both rely on this.
+    """
 
     def __init__(
         self,
@@ -54,28 +67,12 @@ class EquivalenceCheckingManager:
         classified through :mod:`repro.errors` and degraded into a
         ``NO_INFORMATION`` result whose ``statistics["failure"]`` holds
         the structured record — one bad cell must not take down a batch.
+        The single exception is a cross-child
+        :class:`~repro.errors.PortfolioDisagreement`: two racing
+        checkers contradicting each other with sound verdicts is a
+        checker bug and always propagates.
         """
-        config = self.configuration
-        start = time.monotonic()
-        try:
-            return self._run_strategy(start)
-        except EquivalenceCheckingTimeout:
-            return EquivalenceCheckingResult(
-                Equivalence.TIMEOUT,
-                config.strategy,
-                time.monotonic() - start,
-            )
-        except Exception as exc:
-            if not config.graceful_degradation:
-                raise
-            from repro.errors import classify_exception
-
-            return EquivalenceCheckingResult(
-                Equivalence.NO_INFORMATION,
-                config.strategy,
-                time.monotonic() - start,
-                {"failure": classify_exception(exc).to_dict()},
-            )
+        return self._run(self.configuration)
 
     def run_single(self, strategy: str) -> EquivalenceCheckingResult:
         """Run exactly one named strategy, overriding the configured one.
@@ -83,25 +80,53 @@ class EquivalenceCheckingManager:
         The differential fuzzer drives the full strategy matrix through
         this hook: the manager's configuration (timeouts, seeds, table
         bounds) stays authoritative while the strategy choice is swapped
-        per call.  Degradation semantics are those of :meth:`run`.
+        per call.  The override is threaded through explicitly —
+        ``self.configuration`` is never touched, so concurrent
+        ``run_single`` calls on one manager cannot race each other.
+        Degradation semantics are those of :meth:`run`.
         """
-        original = self.configuration
-        override = dataclasses.replace(original, strategy=strategy)
+        override = dataclasses.replace(self.configuration, strategy=strategy)
+        if strategy != "combined":
+            # Portfolio racing only applies to the combined schedule; a
+            # single-strategy override runs that one checker directly.
+            override = dataclasses.replace(override, portfolio=False)
         override.validate()
-        self.configuration = override
-        try:
-            return self.run()
-        finally:
-            self.configuration = original
+        return self._run(override)
 
-    def _run_strategy(self, start: float) -> EquivalenceCheckingResult:
+    def _run(self, config: Configuration) -> EquivalenceCheckingResult:
+        """Shared driver behind :meth:`run` and :meth:`run_single`."""
+        start = time.monotonic()
+        try:
+            return self._run_strategy(config, start)
+        except EquivalenceCheckingTimeout:
+            return EquivalenceCheckingResult(
+                Equivalence.TIMEOUT,
+                config.strategy,
+                time.monotonic() - start,
+            )
+        except Exception as exc:
+            from repro.errors import PortfolioDisagreement, classify_exception
+
+            if isinstance(exc, PortfolioDisagreement):
+                raise  # a checker bug — never swallowed
+            if not config.graceful_degradation:
+                raise
+            return EquivalenceCheckingResult(
+                Equivalence.NO_INFORMATION,
+                config.strategy,
+                time.monotonic() - start,
+                {"failure": classify_exception(exc).to_dict()},
+            )
+
+    def _run_strategy(
+        self, config: Configuration, start: float
+    ) -> EquivalenceCheckingResult:
         """Dispatch to the configured checker (exceptions propagate).
 
         This is the single dispatch seam: both :meth:`run` and
         :meth:`run_single` land here, so the static pre-pass below is
         exercised identically by users and by the differential fuzzer.
         """
-        config = self.configuration
         deadline = (
             start + config.timeout if config.timeout is not None else None
         )
@@ -122,6 +147,7 @@ class EquivalenceCheckingManager:
                 self.circuit1, self.circuit2, config, deadline
             )
         advice = None
+        report = None
         analysis_block: Optional[dict] = None
         # The pre-pass reasons about full unitary equivalence, which the
         # "state" strategy deliberately weakens (states from |0...0>
@@ -138,20 +164,29 @@ class EquivalenceCheckingManager:
             if report is not None:
                 advice = report.advice
                 analysis_block = report.to_dict()
-        result = self._dispatch_checker(config.strategy, start, deadline, advice)
+        if config.portfolio and config.strategy == "combined":
+            # Race every applicable strategy in sandboxed children; the
+            # first sound verdict wins (repro.ec.portfolio).
+            from repro.ec.portfolio import run_portfolio
+
+            result = run_portfolio(
+                self.circuit1, self.circuit2, config, start, deadline, report
+            )
+        else:
+            result = self._dispatch_checker(config, start, deadline, advice)
         if analysis_block is not None:
             result.statistics.setdefault("analysis", analysis_block)
         return result
 
     def _dispatch_checker(
         self,
-        strategy: str,
+        config: Configuration,
         start: float,
         deadline: Optional[float],
         advice=None,
     ) -> EquivalenceCheckingResult:
-        """Run the named checker (the pre-pass has already happened)."""
-        config = self.configuration
+        """Run the configured checker (the pre-pass has already happened)."""
+        strategy = config.strategy
         if strategy == "construction":
             return ConstructionChecker(
                 self.circuit1, self.circuit2, config
@@ -174,10 +209,14 @@ class EquivalenceCheckingManager:
             return state_check(
                 self.circuit1, self.circuit2, config, deadline
             )
-        return self._run_combined(start, deadline, advice)
+        return self._run_combined(config, start, deadline, advice)
 
     def _run_combined(
-        self, start: float, deadline: Optional[float], advice=None
+        self,
+        config: Configuration,
+        start: float,
+        deadline: Optional[float],
+        advice=None,
     ) -> EquivalenceCheckingResult:
         """Run the combined schedule: falsify cheaply, then prove.
 
@@ -189,7 +228,6 @@ class EquivalenceCheckingManager:
         result is final when it is a proof, or a ``NOT_EQUIVALENT``
         falsification from simulation; otherwise the next stage runs.
         """
-        config = self.configuration
         schedule = (
             tuple(advice.schedule)
             if advice is not None

@@ -117,6 +117,21 @@ class InvalidInput(CheckError):
     transient = False
 
 
+class PortfolioDisagreement(CheckError):
+    """Two racing checkers returned contradictory *sound* verdicts.
+
+    One of them is wrong — this is a checker bug, not a property of the
+    instance, and it must never be swallowed: the graceful-degradation
+    paths (:meth:`EquivalenceCheckingManager.run`,
+    :func:`repro.harness.run_check`) re-raise it instead of degrading to
+    ``NO_INFORMATION``.  Permanent: re-racing the same pair reproduces
+    the same contradiction.
+    """
+
+    kind = "portfolio_disagreement"
+    transient = False
+
+
 #: kind string -> exception class, for re-raising across the pipe.
 _KINDS: Dict[str, type] = {
     cls.kind: cls
@@ -127,6 +142,7 @@ _KINDS: Dict[str, type] = {
         CheckCrashed,
         CheckWorkerLost,
         InvalidInput,
+        PortfolioDisagreement,
     )
 }
 

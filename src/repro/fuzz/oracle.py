@@ -67,6 +67,15 @@ STRATEGY_MATRIX: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("static_analysis", {"strategy": "analysis"}),
 )
 
+#: The optional eighth participant: the concurrent strategy portfolio.
+#: It races the same checkers as sandboxed children, so cross-checking
+#: its verdict against the sequential matrix exercises the whole race
+#: machinery (launch, kill, reap, verdict selection) per fuzzed pair.
+PORTFOLIO_PARTICIPANT: Tuple[str, Dict[str, object]] = (
+    "portfolio",
+    {"strategy": "combined", "portfolio": True, "static_analysis": False},
+)
+
 #: Verdicts that constitute a *proof* of equivalence.
 _PROVEN_POSITIVE = {
     Equivalence.EQUIVALENT,
@@ -134,6 +143,10 @@ class DifferentialOracle:
             truth is computed (``2^n`` scaling; 8 ⇒ 256×256 matrices).
         verdict_hook: Optional rewrite of each checker result before
             classification (deterministic fault injection for tests).
+        portfolio: Add the concurrent strategy portfolio
+            (:data:`PORTFOLIO_PARTICIPANT`) to the matrix, so its raced
+            verdict is cross-checked against every sequential checker
+            and the ground truth on every pair.
     """
 
     def __init__(
@@ -142,6 +155,7 @@ class DifferentialOracle:
         isolate: bool = False,
         dense_limit: int = 8,
         verdict_hook: Optional[VerdictHook] = None,
+        portfolio: bool = False,
     ) -> None:
         self.configuration = configuration or Configuration(
             timeout=10.0, seed=0
@@ -149,6 +163,7 @@ class DifferentialOracle:
         self.isolate = isolate
         self.dense_limit = dense_limit
         self.verdict_hook = verdict_hook
+        self.portfolio = portfolio
 
     # ------------------------------------------------------------------
     def _run_strategy(
@@ -193,7 +208,10 @@ class DifferentialOracle:
         """Run the full matrix on one pair and classify the verdicts."""
         report = OracleReport(label=pair.label)
         clifford = _is_clifford_pair(pair)
-        for name, overrides in STRATEGY_MATRIX:
+        matrix = STRATEGY_MATRIX
+        if self.portfolio:
+            matrix = matrix + (PORTFOLIO_PARTICIPANT,)
+        for name, overrides in matrix:
             if name == "stabilizer" and not clifford:
                 report.skipped[name] = "non-Clifford pair"
                 continue

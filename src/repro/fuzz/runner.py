@@ -45,6 +45,7 @@ class FuzzSettings:
     num_gates: Optional[int] = None
     corpus_dir: str = "corpus"
     isolate: bool = False
+    portfolio: bool = False
     check_timeout: float = 10.0
     max_seconds: Optional[float] = None
     shrink_checks: int = 150
@@ -88,6 +89,7 @@ class FuzzOutcome:
     disagreements: List[Disagreement] = field(default_factory=list)
     stopped_early: bool = False
     seconds: float = 0.0
+    leaked_children: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -105,6 +107,7 @@ class FuzzOutcome:
             "disagreements": len(self.disagreements),
             "stopped_early": self.stopped_early,
             "seconds": round(self.seconds, 3),
+            "leaked_children": self.leaked_children,
         }
 
 
@@ -128,6 +131,7 @@ def run_fuzz(
         isolate=settings.isolate,
         dense_limit=settings.dense_limit,
         verdict_hook=verdict_hook,
+        portfolio=settings.portfolio,
     )
     outcome = FuzzOutcome(settings=settings)
     start = time.monotonic()
@@ -210,5 +214,13 @@ def run_fuzz(
             f"base gates in {shrunk.checks} oracle calls; repro at {path}"
         )
 
+    # Leak audit: every race/sandbox child must be SIGKILLed and reaped
+    # by the time its check returns, so a campaign that leaves live
+    # children behind has a harness bug worth failing loudly over.
+    import multiprocessing
+
+    outcome.leaked_children = len(multiprocessing.active_children())
+    if outcome.leaked_children:
+        emit(f"WARNING: {outcome.leaked_children} child process(es) leaked")
     outcome.seconds = time.monotonic() - start
     return outcome

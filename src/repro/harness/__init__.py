@@ -10,15 +10,30 @@ exponential backoff; :func:`run_check` degrades every failure into a
 ``NO_INFORMATION``/``TIMEOUT`` result so batch drivers (the Table-1
 harness) never lose the remaining cells to one bad instance.
 
+:mod:`repro.harness.race` generalizes the one-shot sandbox into a
+multi-child racer — the execution substrate of the concurrent strategy
+portfolio (:mod:`repro.ec.portfolio`): staggered launches under one
+shared deadline, first sound verdict wins, losers SIGKILLed and reaped.
+
 Entry points::
 
     from repro.harness import run_check, run_check_isolated, ResourceLimits
 
     result = run_check(c1, c2, configuration)           # never raises
     result = run_check_isolated(c1, c2, configuration)  # raises CheckError
+
+    from repro.harness import RaceEntry, race_checks
+
+    outcome = race_checks(c1, c2, entries, shared_budget=60.0)
 """
 
 from repro.harness.journal import Journal, JournalMismatch
+from repro.harness.race import (
+    ChildOutcome,
+    RaceEntry,
+    RaceOutcome,
+    race_checks,
+)
 from repro.harness.sandbox import (
     DEFAULT_GRACE_SECONDS,
     ResourceLimits,
@@ -27,10 +42,14 @@ from repro.harness.sandbox import (
 )
 
 __all__ = [
+    "ChildOutcome",
     "DEFAULT_GRACE_SECONDS",
     "Journal",
     "JournalMismatch",
+    "RaceEntry",
+    "RaceOutcome",
     "ResourceLimits",
+    "race_checks",
     "run_check",
     "run_check_isolated",
 ]

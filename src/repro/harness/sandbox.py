@@ -374,6 +374,12 @@ def run_check(
     try:
         return call_with_retry(attempt, retry, sleep=sleep)
     except CheckError as error:
+        from repro.errors import PortfolioDisagreement
+
+        if isinstance(error, PortfolioDisagreement):
+            # Contradictory sound verdicts are a checker bug, not an
+            # operational failure — never degrade them into a result.
+            raise
         return _failure_result(
             error, configuration.strategy, time.monotonic() - start
         )

@@ -21,6 +21,7 @@ from repro.dd.package import DDPackage
 COUNTER_NAMESPACES = (
     "analysis",
     "gate_applications",
+    "portfolio",
     "zx",
 )
 

@@ -110,6 +110,30 @@ class TestCellRecordRoundTrip:
         assert restored.failure == "crashed"
         assert restored.correct is None
 
+    def test_round_trip_portfolio_attribution(self):
+        """Winner strategy and loser kill codes survive the journal."""
+        cell = CellResult(
+            0.3, Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE, False, True,
+            winner="zx",
+            kills={"alternating": "loser", "construction": "loser"},
+        )
+        record = cell.to_record()
+        assert record["winner"] == "zx"
+        restored = CellResult.from_record(record)
+        assert restored.winner == "zx"
+        assert restored.kills == {
+            "alternating": "loser", "construction": "loser",
+        }
+
+    def test_sequential_cells_omit_portfolio_fields(self):
+        cell = CellResult(1.0, Equivalence.EQUIVALENT, False, True)
+        record = cell.to_record()
+        assert "winner" not in record
+        assert "kills" not in record
+        restored = CellResult.from_record(record)
+        assert restored.winner is None
+        assert restored.kills is None
+
 
 class TestJournalResume:
     def _run_with_journal(self, instance, path, resume=False):
@@ -192,6 +216,40 @@ class TestJournalResume:
                 ["--use-case", "compiled", "--timeout", "60",
                  "--journal", str(path), "--resume"]
             )
+
+    def test_portfolio_flag_mismatch_refused(self, tiny_suite, tmp_path):
+        """A sequential journal must not silently resume as a portfolio
+        run (or vice versa) — the cells would not be comparable."""
+        path = tmp_path / "study.jsonl"
+        assert (
+            study.main(
+                ["--use-case", "compiled", "--timeout", "30",
+                 "--journal", str(path)]
+            )
+            == 0
+        )
+        from repro.harness import JournalMismatch
+
+        with pytest.raises(JournalMismatch):
+            study.main(
+                ["--use-case", "compiled", "--timeout", "30",
+                 "--journal", str(path), "--resume", "--portfolio"]
+            )
+
+
+class TestPortfolioCells:
+    def test_combined_cells_carry_winner_attribution(self, tiny_instance):
+        row = run_instance(
+            tiny_instance, timeout=30.0, seed=0, portfolio=True
+        )
+        for key, cell in row.cells.items():
+            if key.endswith("/dd"):
+                # The racing column: every cell records which lane won.
+                assert cell.winner is not None, key
+            else:
+                # The standalone ZX column never races.
+                assert cell.winner is None, key
+                assert cell.kills is None, key
 
 
 @pytest.mark.chaos

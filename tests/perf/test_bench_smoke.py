@@ -122,3 +122,40 @@ def test_isolation_overhead_smoke():
     assert isolated_seconds < in_process_seconds * 10 + 2.0
     overhead = isolated.statistics["isolation"]["overhead_seconds"]
     assert 0 <= overhead < 2.0
+
+
+@pytest.mark.bench_smoke
+def test_portfolio_overhead_smoke():
+    """Racing a trivial pair must stay within a fixed multiple of the
+    sequential combined schedule: the portfolio's value is on expensive
+    cells, but its fork/stagger overhead on cheap ones has to stay
+    bounded or `--portfolio` would tax every small instance."""
+    from repro.ec.portfolio import portfolio_winner
+
+    original = ghz_state(6)
+    compiled = compile_circuit(original, line_architecture(8))
+
+    elapsed = {}
+    verdicts = {}
+    for label, portfolio in (("sequential", False), ("portfolio", True)):
+        config = Configuration(
+            strategy="combined", portfolio=portfolio,
+            static_analysis=False, timeout=30.0, seed=0,
+        )
+        start = time.perf_counter()
+        result = EquivalenceCheckingManager(original, compiled, config).run()
+        elapsed[label] = time.perf_counter() - start
+        verdicts[label] = result.equivalence
+        assert result.equivalence in POSITIVE, label
+
+    raced = EquivalenceCheckingManager(
+        original, compiled,
+        Configuration(strategy="combined", portfolio=True,
+                      static_analysis=False, timeout=30.0, seed=0),
+    ).run()
+    assert portfolio_winner(raced) is not None
+    assert raced.statistics["portfolio"]["all_reaped"] is True
+    # Fixed multiple plus a fork allowance: the sequential arm finishes
+    # this pair in ~0.05 s, the race in ~0.2 s.  15x + 2 s means the
+    # racer regressed into something pathological.
+    assert elapsed["portfolio"] < elapsed["sequential"] * 15 + 2.0

@@ -195,6 +195,53 @@ class TestNoWallclockRule:
         assert findings == []
 
 
+class TestNoForkRule:
+    def test_os_fork_outside_harness_is_flagged(self, tmp_path):
+        findings = _run_on(
+            tmp_path,
+            "ec/sneaky.py",
+            "import os\npid = os.fork()\n",
+        )
+        assert [f.rule for f in findings] == ["no-fork"]
+
+    def test_multiprocessing_process_is_flagged(self, tmp_path):
+        findings = _run_on(
+            tmp_path,
+            "fuzz/spawny.py",
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=print)\n",
+        )
+        assert [f.rule for f in findings] == ["no-fork"]
+
+    def test_aliased_context_process_is_flagged(self, tmp_path):
+        findings = _run_on(
+            tmp_path,
+            "ec/ctxy.py",
+            "import multiprocessing as mp\n"
+            "ctx = mp.get_context('fork')\n"
+            "p = ctx.Process(target=print)\n",
+        )
+        assert "no-fork" in [f.rule for f in findings]
+
+    def test_harness_layer_is_exempt(self, tmp_path):
+        findings = _run_on(
+            tmp_path,
+            "harness/forky.py",
+            "import os\npid = os.fork()\n",
+        )
+        assert findings == []
+
+    def test_suppression_with_reason(self, tmp_path):
+        findings = _run_on(
+            tmp_path,
+            "ec/sneaky.py",
+            "import os\n"
+            "# repro: allow(no-fork): demonstrating the rule\n"
+            "pid = os.fork()\n",
+        )
+        assert findings == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         counters = tmp_path / "src" / "repro" / "perf" / "counters.py"

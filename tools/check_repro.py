@@ -31,6 +31,14 @@ flagged line or the line directly above it — the reason is mandatory):
     reads belong to the harness/manager layer; pure code takes deadlines
     as parameters and uses ``perf_counter``/``monotonic`` only via them.
 
+``no-fork``
+    Process creation — ``os.fork``/``os.forkpty``, ``subprocess.*``
+    spawns, ``multiprocessing`` ``Process``/``get_context``/``Pool`` —
+    is banned outside ``repro/harness/``: every child the project
+    creates must go through the sandbox/racer so it gets resource
+    limits, hard kill budgets and zombie-free reaping.  (Read-only
+    ``multiprocessing`` queries such as ``active_children`` are fine.)
+
 Exit code 0 when the tree is clean, 1 when any unsuppressed finding
 remains.  Run as ``python tools/check_repro.py [--root DIR]``.
 """
@@ -293,6 +301,70 @@ def check_no_wallclock(
 
 
 # ----------------------------------------------------------------------
+# Rule 5: no-fork
+# ----------------------------------------------------------------------
+#: Call chains that create a child process.  Matched against the dotted
+#: rendering of the call target, so aliased imports (``import os as o``)
+#: slip through — acceptable for a project-invariant lint; the idiom in
+#: this tree is plain ``import os`` / ``import multiprocessing``.
+_FORK_CALLS = {
+    "os.fork": "os.fork()",
+    "os.forkpty": "os.forkpty()",
+    "os.posix_spawn": "os.posix_spawn()",
+    "os.system": "os.system()",
+    "subprocess.Popen": "subprocess.Popen()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.call": "subprocess.call()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "multiprocessing.Process": "multiprocessing.Process()",
+    "multiprocessing.Pool": "multiprocessing.Pool()",
+    "multiprocessing.get_context": "multiprocessing.get_context()",
+}
+
+#: Bare-name process constructors (``from multiprocessing import Process``).
+_FORK_NAMES = {"Process", "Pool", "get_context"}
+
+
+def check_no_fork(
+    path: Path, tree: ast.AST, source_lines: Sequence[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        message = None
+        if dotted in _FORK_CALLS:
+            message = f"{_FORK_CALLS[dotted]} outside repro.harness"
+        elif (
+            dotted is not None
+            and dotted.split(".")[-1] in _FORK_NAMES
+            and len(dotted.split(".")) <= 2
+            and (
+                dotted in _FORK_NAMES
+                or dotted.split(".")[0] in ("mp", "multiprocessing", "ctx")
+            )
+        ):
+            message = f"{dotted}() spawns a process outside repro.harness"
+        if message is None:
+            continue
+        if _is_suppressed(source_lines, node.lineno, "no-fork"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "no-fork",
+                message
+                + " (route child processes through the sandbox/racer "
+                "in repro.harness)",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
 def _iter_python_files(root: Path) -> Iterator[Path]:
     yield from sorted((root / "src" / "repro").rglob("*.py"))
 
@@ -326,6 +398,8 @@ def run_checks(root: Path) -> List[Finding]:
         )
         if parts[0] in _PURE_PACKAGES:
             findings.extend(check_no_wallclock(path, tree, lines))
+        if parts[0] != "harness":
+            findings.extend(check_no_fork(path, tree, lines))
     return findings
 
 
