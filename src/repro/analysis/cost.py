@@ -102,10 +102,14 @@ def estimate_cost(
     two_qubit = sum(p.two_qubit_gates for p in profiles)
     # DD effort grows with the entangling structure the diagram must
     # represent: two-qubit depth drives node counts, width caps them.
+    # Coefficients re-tuned for the array-native kernels (struct-of-arrays
+    # node store + batched stimuli cut per-gate DD cost by ~2.5-3x on the
+    # Table-1 cells, see BENCH_dd_kernels.json), which narrows the gap to
+    # ZX on entangling-heavy pairs.
     dd_score = (
         float(total_gates)
-        + 4.0 * two_qubit
-        + 0.5 * depth * num_qubits
+        + 3.0 * two_qubit
+        + 0.4 * depth * num_qubits
     )
     # ZX effort tracks the spider count plus the phases full_reduce
     # cannot fuse away; generic rotations are the dominant obstruction.

@@ -107,6 +107,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         seed=args.seed,
         direct_application=not args.legacy_kernels,
         incremental_zx=not args.legacy_zx_simp,
+        array_dd=not args.legacy_dd,
         memory_limit_mb=args.memory_limit,
         max_retries=args.retries,
         **config_kwargs,
@@ -313,6 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy-zx-simp", action="store_true",
         help="disable the incremental worklist ZX simplifier and use the "
         "rescan-to-fixpoint drivers (A/B baseline)",
+    )
+    verify.add_argument(
+        "--legacy-dd", action="store_true",
+        help="use the object-based DD engine instead of the array-native "
+        "node store with batched stimuli (A/B baseline)",
     )
     verify.add_argument(
         "--compute-table-size", type=int, default=None,

@@ -12,9 +12,22 @@ diagrams for quantum state vectors and unitary matrices, with
 * *compute tables* memoizing addition, multiplication, conjugation, traces
   and inner products.
 
-The package operates on the shared circuit IR of :mod:`repro.circuit`.
+The package ships **two engines** with one algebra:
+
+* :class:`~repro.dd.package.DDPackage` — the legacy object engine
+  (``VNode``/``MNode`` objects, edge objects, dict unique tables);
+* :class:`~repro.dd.array_package.ArrayDDPackage` — the array-native
+  engine (struct-of-arrays node store, packed integer edges,
+  open-addressed unique tables), the default via
+  ``Configuration.array_dd``.
+
+Both operate on the shared circuit IR of :mod:`repro.circuit`; the gate
+constructors in :mod:`repro.dd.gates` are engine-polymorphic and
+:mod:`repro.dd.array_gates` adds batched column simulation.
 """
 
+from repro.dd.array_package import ArrayDDPackage
+from repro.dd.array_store import NodeStore
 from repro.dd.complex_table import ComplexTable, DEFAULT_TOLERANCE
 from repro.dd.compute_table import ComputeTable, DEFAULT_COMPUTE_TABLE_SIZE
 from repro.dd.node import MEdge, MNode, VEdge, VNode, TERMINAL
@@ -23,10 +36,13 @@ from repro.dd.export import (
     edge_to_matrix,
     edge_to_vector,
     matrix_dd_size,
+    matrix_signature,
     vector_dd_size,
+    vector_signature,
 )
 
 __all__ = [
+    "ArrayDDPackage",
     "ComplexTable",
     "ComputeTable",
     "DEFAULT_COMPUTE_TABLE_SIZE",
@@ -34,11 +50,14 @@ __all__ = [
     "DDPackage",
     "MEdge",
     "MNode",
+    "NodeStore",
     "VEdge",
     "VNode",
     "TERMINAL",
     "edge_to_matrix",
     "edge_to_vector",
     "matrix_dd_size",
+    "matrix_signature",
     "vector_dd_size",
+    "vector_signature",
 ]

@@ -20,7 +20,7 @@ elsewhere in the package reduce to cheap ``==`` on interned values.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 #: Default merging tolerance, mirroring the magnitude used by QCEC's
 #: underlying DD package.
@@ -48,8 +48,12 @@ class ComplexTable:
         self._table: Dict[Tuple[int, int], complex] = {}
         # Every canonical value gets a small sequential integer id so that
         # compute-table keys can be pure integer tuples (cheap to hash and
-        # compare) instead of hashing raw complex ratios.
+        # compare) instead of hashing raw complex ratios.  ``_values`` is
+        # the inverse map (id -> canonical value): the array-native DD
+        # engine stores *only* weight ids in its node arrays and resolves
+        # them through this list.
         self._ids: Dict[complex, int] = {}
+        self._values: List[complex] = []
         self.hits = 0
         self.misses = 0
         # Seed the exact values every diagram relies on so that anything
@@ -93,6 +97,7 @@ class ComplexTable:
         self.misses += 1
         self._table[key] = value
         self._ids[value] = len(self._ids)
+        self._values.append(value)
         return value
 
     def id_of(self, canonical: complex) -> int:
@@ -107,6 +112,14 @@ class ComplexTable:
         """Intern ``value`` and return its canonical integer id."""
         return self._ids[self.lookup(value)]
 
+    def value_of(self, weight_id: int) -> complex:
+        """The canonical value behind an integer id (inverse of ``id_of``)."""
+        return self._values[weight_id]
+
+    def num_ids(self) -> int:
+        """Number of canonical ids handed out so far."""
+        return len(self._values)
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters plus the final table size."""
         return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}
@@ -115,6 +128,7 @@ class ComplexTable:
         """Drop all stored values (the exact seeds are re-inserted)."""
         self._table.clear()
         self._ids.clear()
+        self._values.clear()
         self.hits = 0
         self.misses = 0
         for seed in (0j, 1 + 0j, -1 + 0j, 1j, -1j):

@@ -3,21 +3,51 @@
 Dense export is exponential and exists for testing and for the small
 illustrative figures (paper Fig. 1b / Fig. 3); size statistics drive the
 DD-growth experiments of Section 6.2.
+
+Every exporter accepts edges from **either engine**: legacy object edges
+(:class:`~repro.dd.node.VEdge` / :class:`~repro.dd.node.MEdge`) need no
+extra context, while the array engine's packed integer edges carry no
+back-pointer to their node store, so the owning
+:class:`~repro.dd.array_package.ArrayDDPackage` must be passed as
+``pkg``.  The :func:`vector_signature` / :func:`matrix_signature` helpers
+produce engine-independent canonical trees — two diagrams built over a
+*shared* complex table compare bit-identically through them, which is how
+the engine-agreement tests and benchmarks assert ``roots_identical``.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.dd.array_package import (
+    ArrayDDPackage,
+    EDGE_SHIFT,
+    WEIGHT_MASK,
+)
+from repro.dd.array_store import NodeStore
 from repro.dd.node import MEdge, TERMINAL, VEdge
 
 
-def edge_to_vector(edge: VEdge, num_qubits: int) -> np.ndarray:
+def _require_package(pkg: Optional[ArrayDDPackage]) -> ArrayDDPackage:
+    if pkg is None:
+        raise ValueError(
+            "packed integer edges carry no node-store reference; pass the "
+            "owning ArrayDDPackage as pkg="
+        )
+    return pkg
+
+
+def edge_to_vector(
+    edge, num_qubits: int, pkg: Optional[ArrayDDPackage] = None
+) -> np.ndarray:
     """Expand a vector diagram into a dense ``2^n`` numpy array."""
     out = np.zeros(2**num_qubits, dtype=complex)
-    _fill_vector(edge, 0, 1 + 0j, out)
+    if isinstance(edge, int):
+        _fill_vector_handle(_require_package(pkg), edge, 0, 1 + 0j, out)
+    else:
+        _fill_vector(edge, 0, 1 + 0j, out)
     return out
 
 
@@ -34,11 +64,42 @@ def _fill_vector(edge: VEdge, offset: int, factor: complex, out: np.ndarray) -> 
     _fill_vector(node.edges[1], offset + half, factor, out)
 
 
-def edge_to_matrix(edge: MEdge, num_qubits: int) -> np.ndarray:
+def _fill_vector_handle(
+    pkg: ArrayDDPackage, edge: int, offset: int, factor: complex, out: np.ndarray
+) -> None:
+    wid = edge & WEIGHT_MASK
+    if wid == 0:
+        return
+    factor = factor * pkg.weight_value(wid)
+    handle = edge >> EDGE_SHIFT
+    if handle == 0:
+        out[offset] += factor
+        return
+    store = pkg.vec
+    half = 1 << store.levels[handle]
+    base = handle * 2
+    _fill_vector_handle(
+        pkg,
+        (store.children[base] << EDGE_SHIFT) | store.weights[base],
+        offset, factor, out,
+    )
+    _fill_vector_handle(
+        pkg,
+        (store.children[base + 1] << EDGE_SHIFT) | store.weights[base + 1],
+        offset + half, factor, out,
+    )
+
+
+def edge_to_matrix(
+    edge, num_qubits: int, pkg: Optional[ArrayDDPackage] = None
+) -> np.ndarray:
     """Expand a matrix diagram into a dense ``2^n x 2^n`` numpy array."""
     dim = 2**num_qubits
     out = np.zeros((dim, dim), dtype=complex)
-    _fill_matrix(edge, 0, 0, 1 + 0j, out)
+    if isinstance(edge, int):
+        _fill_matrix_handle(_require_package(pkg), edge, 0, 0, 1 + 0j, out)
+    else:
+        _fill_matrix(edge, 0, 0, 1 + 0j, out)
     return out
 
 
@@ -59,8 +120,37 @@ def _fill_matrix(
     _fill_matrix(node.edges[3], row + half, col + half, factor, out)
 
 
-def vector_dd_size(edge: VEdge) -> int:
+def _fill_matrix_handle(
+    pkg: ArrayDDPackage,
+    edge: int,
+    row: int,
+    col: int,
+    factor: complex,
+    out: np.ndarray,
+) -> None:
+    wid = edge & WEIGHT_MASK
+    if wid == 0:
+        return
+    factor = factor * pkg.weight_value(wid)
+    handle = edge >> EDGE_SHIFT
+    if handle == 0:
+        out[row, col] += factor
+        return
+    store = pkg.mat
+    half = 1 << store.levels[handle]
+    base = handle * 4
+    for k, (dr, dc) in enumerate(((0, 0), (0, half), (half, 0), (half, half))):
+        _fill_matrix_handle(
+            pkg,
+            (store.children[base + k] << EDGE_SHIFT) | store.weights[base + k],
+            row + dr, col + dc, factor, out,
+        )
+
+
+def vector_dd_size(edge, pkg: Optional[ArrayDDPackage] = None) -> int:
     """Number of distinct non-terminal nodes reachable from ``edge``."""
+    if isinstance(edge, int):
+        return _require_package(pkg).vector_dd_size(edge)
     seen: Set[int] = set()
     _count_vector(edge, seen)
     return len(seen)
@@ -75,13 +165,15 @@ def _count_vector(edge: VEdge, seen: Set[int]) -> None:
         _count_vector(child, seen)
 
 
-def matrix_dd_size(edge: MEdge) -> int:
+def matrix_dd_size(edge, pkg: Optional[ArrayDDPackage] = None) -> int:
     """Number of distinct non-terminal nodes reachable from ``edge``.
 
     This is the "size of the decision diagram" metric of the paper's
     Section 6.2 discussion (the quantity that blows up under numerical
     noise for arbitrary-angle circuits).
     """
+    if isinstance(edge, int):
+        return _require_package(pkg).matrix_dd_size(edge)
     seen: Set[int] = set()
     _count_matrix(edge, seen)
     return len(seen)
@@ -96,53 +188,192 @@ def _count_matrix(edge: MEdge, seen: Set[int]) -> None:
         _count_matrix(child, seen)
 
 
-def matrix_dd_to_dot(edge: MEdge, name: str = "dd") -> str:
+# ----------------------------------------------------------------------
+# engine-independent canonical signatures
+# ----------------------------------------------------------------------
+# Signatures are hash-consed: every distinct (level, child signatures)
+# structure ever signed interns to one small integer id in a process-wide
+# table, so a signature is just ``(root weight, structure id)`` and
+# comparing two of them is O(1).  Naively materialising nested tuples
+# instead would make *equality* exponential — a 65-level identity chain
+# shares each subtree twice per level, and tuple comparison across two
+# separately built trees gets no identity shortcut.
+_SIG_TERMINAL = 0
+_sig_intern: Dict[Tuple, int] = {}
+
+
+def _intern_signature(key: Tuple) -> int:
+    sid = _sig_intern.get(key)
+    if sid is None:
+        sid = len(_sig_intern) + 1
+        _sig_intern[key] = sid
+    return sid
+
+
+def vector_signature(edge, pkg: Optional[ArrayDDPackage] = None) -> Tuple:
+    """Canonical ``(weight, structure id)`` form of a vector diagram.
+
+    Two diagrams — possibly from *different* engines — have equal
+    signatures iff they have the same structure and the same canonical
+    edge weights.  Build both over one shared
+    :class:`~repro.dd.complex_table.ComplexTable` for the weights to be
+    bit-comparable.
+    """
+    if isinstance(edge, int):
+        return _signature_handle(
+            _require_package(pkg), _require_package(pkg).vec, edge, {}
+        )
+    return _signature_object(edge, {})
+
+
+def matrix_signature(edge, pkg: Optional[ArrayDDPackage] = None) -> Tuple:
+    """Canonical ``(weight, structure id)`` form of a matrix diagram
+    (see :func:`vector_signature`)."""
+    if isinstance(edge, int):
+        return _signature_handle(
+            _require_package(pkg), _require_package(pkg).mat, edge, {}
+        )
+    return _signature_object(edge, {})
+
+
+def _signature_object(edge, memo: Dict[int, int]) -> Tuple:
+    if edge.is_zero:
+        return (0j, _SIG_TERMINAL)
+    node = edge.node
+    if node is TERMINAL:
+        return (edge.weight, _SIG_TERMINAL)
+    sid = memo.get(id(node))
+    if sid is None:
+        key = (node.level,) + tuple(
+            _signature_object(child, memo) for child in node.edges
+        )
+        sid = _intern_signature(key)
+        memo[id(node)] = sid
+    return (edge.weight, sid)
+
+
+def _signature_handle(
+    pkg: ArrayDDPackage, store: NodeStore, edge: int, memo: Dict[int, int]
+) -> Tuple:
+    wid = edge & WEIGHT_MASK
+    if wid == 0:
+        return (0j, _SIG_TERMINAL)
+    weight = pkg.weight_value(wid)
+    handle = edge >> EDGE_SHIFT
+    if handle == 0:
+        return (weight, _SIG_TERMINAL)
+    sid = memo.get(handle)
+    if sid is None:
+        arity = store.arity
+        base = handle * arity
+        key = (store.levels[handle],) + tuple(
+            _signature_handle(
+                pkg,
+                store,
+                (store.children[base + k] << EDGE_SHIFT)
+                | store.weights[base + k],
+                memo,
+            )
+            for k in range(arity)
+        )
+        sid = _intern_signature(key)
+        memo[handle] = sid
+    return (weight, sid)
+
+
+# ----------------------------------------------------------------------
+# Graphviz rendering
+# ----------------------------------------------------------------------
+def matrix_dd_to_dot(
+    edge, name: str = "dd", pkg: Optional[ArrayDDPackage] = None
+) -> str:
     """Graphviz DOT rendering of a matrix decision diagram.
 
     Follows the visualization style of Wille et al., "Visualizing decision
     diagrams for quantum computing" (reference [37] of the paper): edge
     labels carry the complex weights, node labels the decided qubit level,
     and the four outgoing edges are ordered ``(00, 01, 10, 11)``.
+    Accepts both engines; packed integer edges additionally need ``pkg``.
     """
+    if isinstance(edge, int):
+        package = _require_package(pkg)
+        store = package.mat
+        entry = (
+            None
+            if edge & WEIGHT_MASK == 0
+            else (edge >> EDGE_SHIFT, package.weight_value(edge & WEIGHT_MASK))
+        )
+
+        def children_of(handle: int):
+            base = handle * 4
+            for k in range(4):
+                wid = store.weights[base + k]
+                if wid != 0:
+                    yield k, store.children[base + k], package.weight_value(wid)
+
+        def level_of(handle: int) -> int:
+            return store.levels[handle]
+
+        terminal_token = 0
+    else:
+        entry = None if edge.is_zero else (edge.node, edge.weight)
+
+        def children_of(node):
+            for k, child in enumerate(node.edges):
+                if not child.is_zero:
+                    yield k, child.node, child.weight
+
+        def level_of(node) -> int:
+            return node.level
+
+        terminal_token = TERMINAL
+
+    def is_terminal(node) -> bool:
+        if isinstance(node, int):
+            return node == terminal_token
+        return node is terminal_token
+
     lines = [f"digraph {name} {{", "  rankdir=TB;", '  root [shape=point];']
-    ids = {}
+    ids: Dict[object, str] = {}
 
     def node_id(node) -> str:
-        if node is TERMINAL:
+        if is_terminal(node):
             return "terminal"
-        if id(node) not in ids:
-            ids[id(node)] = f"n{len(ids)}"
-        return ids[id(node)]
+        key = node if isinstance(node, int) else id(node)
+        if key not in ids:
+            ids[key] = f"n{len(ids)}"
+        return ids[key]
 
     def weight_label(weight: complex) -> str:
         return f"{weight.real:.4g}{weight.imag:+.4g}i"
 
     visited = set()
 
-    def walk(current: MEdge) -> None:
-        node = current.node
-        if node is TERMINAL or id(node) in visited:
+    def walk(node) -> None:
+        if is_terminal(node):
             return
-        visited.add(id(node))
+        key = node if isinstance(node, int) else id(node)
+        if key in visited:
+            return
+        visited.add(key)
         lines.append(
-            f'  {node_id(node)} [label="q{node.level}", shape=circle];'
+            f'  {node_id(node)} [label="q{level_of(node)}", shape=circle];'
         )
-        for index, child in enumerate(node.edges):
-            if child.is_zero:
-                continue
+        for index, child, weight in children_of(node):
             label = f"{index >> 1}{index & 1}"
             lines.append(
-                f"  {node_id(node)} -> {node_id(child.node)} "
-                f'[label="{label}: {weight_label(child.weight)}"];'
+                f"  {node_id(node)} -> {node_id(child)} "
+                f'[label="{label}: {weight_label(weight)}"];'
             )
             walk(child)
 
     lines.append('  terminal [label="1", shape=box];')
-    if not edge.is_zero:
+    if entry is not None:
+        root_node, root_weight = entry
         lines.append(
-            f"  root -> {node_id(edge.node)} "
-            f'[label="{weight_label(edge.weight)}"];'
+            f"  root -> {node_id(root_node)} "
+            f'[label="{weight_label(root_weight)}"];'
         )
-        walk(edge)
+        walk(root_node)
     lines.append("}")
     return "\n".join(lines)

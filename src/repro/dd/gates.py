@@ -22,6 +22,16 @@ Gate *application* has two code paths:
   diagram and perform a full-depth DD multiplication — the seed behaviour,
   kept selectable through :class:`repro.ec.configuration.Configuration`
   for A/B ablation benchmarks.
+
+All functions here are **engine-polymorphic**: they only call the package
+method surface (``layered_kron``, ``identity``, ``add``,
+``make_matrix_node``, ``apply_gate_*``, ``multiply*``), which
+:class:`~repro.dd.package.DDPackage` and
+:class:`~repro.dd.array_package.ArrayDDPackage` both implement — the
+former over ``MEdge`` objects, the latter over packed integer edges.  The
+``pkg``/edge type hints below are written against the object engine for
+readability; batched column application lives in
+:mod:`repro.dd.array_gates`.
 """
 
 from __future__ import annotations

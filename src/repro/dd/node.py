@@ -29,6 +29,7 @@ class _Terminal:
 
     __slots__ = ()
     level = -1
+    serial = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "TERMINAL"
@@ -41,11 +42,17 @@ TERMINAL = _Terminal()
 class VNode:
     """A vector decision-diagram node with ``|0>`` / ``|1>`` successors."""
 
-    __slots__ = ("level", "edges")
+    __slots__ = ("level", "edges", "serial")
 
-    def __init__(self, level: int, edges: Tuple["VEdge", "VEdge"]) -> None:
+    def __init__(
+        self, level: int, edges: Tuple["VEdge", "VEdge"], serial: int = 0
+    ) -> None:
         self.level = level
         self.edges = edges
+        # Creation order within the owning package's unique table; the
+        # deterministic stand-in for ``id()`` when the algebra must pick a
+        # canonical operand order (it mirrors the array engine's handle).
+        self.serial = serial
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VNode(level={self.level})"
@@ -54,13 +61,17 @@ class VNode:
 class MNode:
     """A matrix decision-diagram node with four block successors."""
 
-    __slots__ = ("level", "edges")
+    __slots__ = ("level", "edges", "serial")
 
     def __init__(
-        self, level: int, edges: Tuple["MEdge", "MEdge", "MEdge", "MEdge"]
+        self,
+        level: int,
+        edges: Tuple["MEdge", "MEdge", "MEdge", "MEdge"],
+        serial: int = 0,
     ) -> None:
         self.level = level
         self.edges = edges
+        self.serial = serial
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MNode(level={self.level})"

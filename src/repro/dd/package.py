@@ -44,14 +44,23 @@ class DDPackage:
         compute_table_size: Slots per compute table (rounded up to a power
             of two), or ``None`` for unbounded dict-backed tables (the
             seed behaviour, kept for ablation benchmarks).
+        complex_table: An existing :class:`ComplexTable` to share instead
+            of creating a fresh one.  The engine-agreement tests build an
+            object package and an :class:`~repro.dd.array_package.\
+ArrayDDPackage` over one shared table so that canonical weights — and
+            hence root signatures — are bit-comparable across engines.
     """
 
     def __init__(
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         compute_table_size: Optional[int] = DEFAULT_COMPUTE_TABLE_SIZE,
+        complex_table: Optional[ComplexTable] = None,
     ) -> None:
-        self.complex_table = ComplexTable(tolerance)
+        self.complex_table = (
+            complex_table if complex_table is not None
+            else ComplexTable(tolerance)
+        )
         self._vector_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], VNode] = {}
         self._matrix_unique: Dict[Tuple[int, Tuple[Tuple[int, complex], ...]], MNode] = {}
         self.matrix_nodes_created = 0
@@ -99,6 +108,33 @@ class DDPackage:
         """Hit/miss/eviction counters for every compute table."""
         return {name: t.stats() for name, t in sorted(self._tables.items())}
 
+    # Engine-uniform edge accessors: the checkers treat edges opaquely and
+    # go through these, so the same checker code drives this object engine
+    # and the array engine (whose edges are packed integers).
+    @staticmethod
+    def edge_node(edge) -> object:
+        """An engine-specific node token usable for identity comparison."""
+        return edge.node
+
+    @staticmethod
+    def edge_weight(edge) -> complex:
+        """The complex weight carried by an edge."""
+        return edge.weight
+
+    @staticmethod
+    def matrix_dd_size(edge: MEdge) -> int:
+        """Distinct non-terminal nodes reachable from a matrix edge."""
+        from repro.dd.export import matrix_dd_size
+
+        return matrix_dd_size(edge)
+
+    @staticmethod
+    def vector_dd_size(edge: VEdge) -> int:
+        """Distinct non-terminal nodes reachable from a vector edge."""
+        from repro.dd.export import vector_dd_size
+
+        return vector_dd_size(edge)
+
     # ------------------------------------------------------------------
     # construction with normalization
     # ------------------------------------------------------------------
@@ -145,9 +181,9 @@ class DDPackage:
         key = (level, tuple((id(c.node), c.weight) for c in children))
         node = self._vector_unique.get(key)
         if node is None:
-            node = VNode(level, children)
-            self._vector_unique[key] = node
             self.vector_nodes_created += 1
+            node = VNode(level, children, serial=self.vector_nodes_created)
+            self._vector_unique[key] = node
         return VEdge(node, factor)
 
     def make_matrix_node(
@@ -164,9 +200,9 @@ class DDPackage:
         key = (level, tuple((id(c.node), c.weight) for c in children))
         node = self._matrix_unique.get(key)
         if node is None:
-            node = MNode(level, children)
-            self._matrix_unique[key] = node
             self.matrix_nodes_created += 1
+            node = MNode(level, children, serial=self.matrix_nodes_created)
+            self._matrix_unique[key] = node
         return MEdge(node, factor)
 
     # ------------------------------------------------------------------
@@ -253,8 +289,11 @@ class DDPackage:
             return a
         if a.node is TERMINAL and b.node is TERMINAL:
             return MEdge(TERMINAL, self.lookup(a.weight + b.weight))
-        # Canonical operand order for the cache.
-        if id(a.node) > id(b.node):
+        # Canonical operand order for the cache.  Ordered by creation
+        # serial, not ``id()``: the ratio below rounds differently under a
+        # swap, and the serial matches the array engine's handle order, so
+        # both engines perform bit-identical float operations.
+        if a.node.serial > b.node.serial:
             a, b = b, a
         ratio = self.lookup(b.weight / a.weight)
         key = (id(a.node), id(b.node), self.complex_table.id_of(ratio))
@@ -283,7 +322,7 @@ class DDPackage:
             return a
         if a.node is TERMINAL and b.node is TERMINAL:
             return VEdge(TERMINAL, self.lookup(a.weight + b.weight))
-        if id(a.node) > id(b.node):
+        if a.node.serial > b.node.serial:
             a, b = b, a
         ratio = self.lookup(b.weight / a.weight)
         key = (id(a.node), id(b.node), self.complex_table.id_of(ratio))

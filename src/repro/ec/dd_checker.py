@@ -30,7 +30,7 @@ import time
 from typing import List, Optional
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.dd.export import matrix_dd_size
+from repro.dd.array_package import ArrayDDPackage
 from repro.dd.gates import (
     apply_operation_left,
     apply_operation_right,
@@ -49,6 +49,20 @@ from repro.perf import PerfCounters, package_statistics
 def _check_deadline(deadline: Optional[float]) -> None:
     if deadline is not None and time.monotonic() > deadline:
         raise EquivalenceCheckingTimeout()
+
+
+def make_package(configuration: Configuration):
+    """Construct the DD engine selected by ``Configuration.array_dd``.
+
+    Both engines expose the same algebra and the same engine-uniform edge
+    accessors (``edge_node`` / ``edge_weight`` / ``matrix_dd_size`` /
+    ``vector_dd_size``), so every checker below runs unchanged on either.
+    """
+    cls = ArrayDDPackage if configuration.array_dd else DDPackage
+    return cls(
+        configuration.tolerance,
+        compute_table_size=configuration.compute_table_size,
+    )
 
 
 def _phase_verdict(
@@ -91,10 +105,7 @@ class ConstructionChecker:
             self.configuration.elide_permutations,
             self.configuration.reconstruct_swaps,
         )
-        self.package = DDPackage(
-            self.configuration.tolerance,
-            compute_table_size=self.configuration.compute_table_size,
-        )
+        self.package = make_package(self.configuration)
 
     def run(self, deadline: Optional[float] = None) -> EquivalenceCheckingResult:
         start = time.monotonic()
@@ -113,12 +124,19 @@ class ConstructionChecker:
                     )
                     perf.count("gate_applications")
                     if self.configuration.trace_sizes:
-                        max_size = max(max_size, matrix_dd_size(accumulated))
+                        max_size = max(
+                            max_size, pkg.matrix_dd_size(accumulated)
+                        )
                 edges.append(accumulated)
         first, second = edges
         with perf.phase("verdict"):
-            if first.node is second.node:
-                if abs(first.weight - second.weight) <= 16 * pkg.tolerance:
+            # Canonicity: equal functions share one node (object identity
+            # in the legacy engine, handle equality in the array engine).
+            if pkg.edge_node(first) == pkg.edge_node(second):
+                weight_delta = abs(
+                    pkg.edge_weight(first) - pkg.edge_weight(second)
+                )
+                if weight_delta <= 16 * pkg.tolerance:
                     verdict = Equivalence.EQUIVALENT
                 else:
                     verdict = Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE
@@ -132,8 +150,8 @@ class ConstructionChecker:
                 else:
                     verdict = Equivalence.NOT_EQUIVALENT
         statistics = {
-            "dd_size_1": matrix_dd_size(first),
-            "dd_size_2": matrix_dd_size(second),
+            "dd_size_1": pkg.matrix_dd_size(first),
+            "dd_size_2": pkg.matrix_dd_size(second),
             "unique_nodes": pkg.num_unique_matrix_nodes(),
             "complex_table": pkg.complex_table.stats(),
             "perf": {**perf.as_dict(), **package_statistics(pkg)},
@@ -170,10 +188,7 @@ class AlternatingChecker:
             self.configuration.reconstruct_swaps,
         )
         self.permutation_statistics = {"circuit1": stats1, "circuit2": stats2}
-        self.package = DDPackage(
-            self.configuration.tolerance,
-            compute_table_size=self.configuration.compute_table_size,
-        )
+        self.package = make_package(self.configuration)
 
     # -- oracles ----------------------------------------------------------
     def _schedule_naive(self, m1: int, m2: int) -> List[int]:
@@ -267,8 +282,8 @@ class AlternatingChecker:
                         )
                     if candidate2 is None or (
                         candidate1 is not None
-                        and matrix_dd_size(candidate1)
-                        <= matrix_dd_size(candidate2)
+                        and pkg.matrix_dd_size(candidate1)
+                        <= pkg.matrix_dd_size(candidate2)
                     ):
                         accumulated = candidate1
                         index1 += 1
@@ -276,7 +291,7 @@ class AlternatingChecker:
                         accumulated = candidate2
                         index2 += 1
                     perf.count("gate_applications")
-                    size = matrix_dd_size(accumulated)
+                    size = pkg.matrix_dd_size(accumulated)
                     max_size = max(max_size, size)
                     if config.trace_sizes:
                         trace.append(size)
@@ -308,12 +323,12 @@ class AlternatingChecker:
                         index2 += 1
                     perf.count("gate_applications")
                     if config.trace_sizes:
-                        size = matrix_dd_size(accumulated)
+                        size = pkg.matrix_dd_size(accumulated)
                         max_size = max(max_size, size)
                         trace.append(size)
 
         if not config.trace_sizes:
-            max_size = max(max_size, matrix_dd_size(accumulated))
+            max_size = max(max_size, pkg.matrix_dd_size(accumulated))
         with perf.phase("verdict"):
             verdict = _phase_verdict(
                 pkg, accumulated, self.num_qubits, config.fidelity_threshold
@@ -323,7 +338,7 @@ class AlternatingChecker:
             )
         statistics = {
             "max_dd_size": max_size,
-            "final_dd_size": matrix_dd_size(accumulated),
+            "final_dd_size": pkg.matrix_dd_size(accumulated),
             "hilbert_schmidt_fidelity": fidelity,
             "unique_nodes": pkg.num_unique_matrix_nodes(),
             "permutations": self.permutation_statistics,

@@ -19,11 +19,9 @@ import time
 from typing import Optional
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.dd.export import vector_dd_size
 from repro.dd.gates import apply_operation_to_vector
-from repro.dd.package import DDPackage
 from repro.ec.configuration import Configuration
-from repro.ec.dd_checker import _check_deadline
+from repro.ec.dd_checker import _check_deadline, make_package
 from repro.ec.permutations import to_logical_form
 from repro.ec.results import Equivalence, EquivalenceCheckingResult
 
@@ -44,9 +42,7 @@ def state_check(
     logical2, _ = to_logical_form(
         circuit2, num_qubits, config.elide_permutations, config.reconstruct_swaps
     )
-    pkg = DDPackage(
-        config.tolerance, compute_table_size=config.compute_table_size
-    )
+    pkg = make_package(config)
     states = []
     max_size = 0
     for logical in (logical1, logical2):
@@ -57,7 +53,7 @@ def state_check(
                 pkg, state, op, num_qubits, direct=config.direct_application
             )
         states.append(state)
-        max_size = max(max_size, vector_dd_size(state))
+        max_size = max(max_size, pkg.vector_dd_size(state))
     overlap = pkg.inner_product(states[0], states[1])
     fidelity = abs(overlap) ** 2
     if abs(fidelity - 1.0) <= config.fidelity_threshold:
@@ -75,6 +71,9 @@ def state_check(
             "fidelity": fidelity,
             "max_state_dd_size": max_size,
             # canonicity bonus: equal states share the very same node
-            "same_canonical_node": states[0].node is states[1].node,
+            # (object identity or handle equality, by engine)
+            "same_canonical_node": (
+                pkg.edge_node(states[0]) == pkg.edge_node(states[1])
+            ),
         },
     )

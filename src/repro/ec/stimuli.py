@@ -24,11 +24,9 @@ under test.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.dd.node import VEdge
-from repro.dd.package import DDPackage
 
 #: The supported stimuli families.
 STIMULI_TYPES = ("classical", "local_quantum", "global_quantum")
@@ -111,15 +109,17 @@ def generate_stimulus(
 
 
 def prepare_stimulus_state(
-    pkg: DDPackage,
+    pkg,
     stimulus: QuantumCircuit,
     num_qubits: int,
     direct: bool = True,
-) -> VEdge:
+):
     """Run a stimulus-preparation circuit on ``|0...0>`` as a vector DD.
 
     Uses the fast-path vector kernel by default, so preparing a stimulus
     on a wide compiled register touches only the data-qubit levels.
+    ``pkg`` may be either DD engine; the returned edge is whatever type
+    that engine produces (``VEdge`` or a packed integer).
     """
     from repro.dd.gates import apply_operation_to_vector
 
@@ -129,3 +129,22 @@ def prepare_stimulus_state(
             pkg, state, op, num_qubits, direct=direct
         )
     return state
+
+
+def prepare_stimulus_columns(
+    pkg,
+    stimuli: Sequence[QuantumCircuit],
+    num_qubits: int,
+    direct: bool = True,
+) -> List:
+    """Prepare one column state per stimulus, for batched simulation.
+
+    The columns all live in ``pkg``, so node sharing across stimuli is
+    maximal and every later gate pass (see
+    :func:`repro.dd.array_gates.apply_operation_columns`) amortizes its
+    compute-table fills across the batch width.
+    """
+    return [
+        prepare_stimulus_state(pkg, stimulus, num_qubits, direct=direct)
+        for stimulus in stimuli
+    ]

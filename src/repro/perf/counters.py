@@ -12,14 +12,13 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-from repro.dd.package import DDPackage
-
 #: Registered counter namespaces: the first dotted component of every
 #: ``PerfCounters.count`` name must appear here.  ``tools/check_repro.py``
 #: enforces this statically so dashboards never meet a typo'd or
 #: unreviewed counter family.
 COUNTER_NAMESPACES = (
     "analysis",
+    "dd",
     "gate_applications",
     "portfolio",
     "zx",
@@ -97,15 +96,19 @@ def json_safe(value: object) -> object:
     return repr(value)
 
 
-def package_statistics(pkg: DDPackage) -> Dict[str, object]:
+def package_statistics(pkg) -> Dict[str, object]:
     """Snapshot one DD package's internal performance counters.
 
-    Returns a nested dict with per-compute-table hit/miss/eviction
-    statistics, the complex table's hit/miss/size, and unique-node totals
-    (the node counts are cumulative — unique tables never evict, so the
-    final count is also the peak).
+    Accepts either DD engine (:class:`repro.dd.package.DDPackage` or
+    :class:`repro.dd.array_package.ArrayDDPackage`).  Returns a nested
+    dict with per-compute-table hit/miss/eviction statistics, the complex
+    table's hit/miss/size, and unique-node totals (the node counts are
+    cumulative — unique tables never evict, so the final count is also
+    the peak).  The array engine additionally reports its node-store
+    growth and open-addressed unique-table probe counters under
+    ``node_stores``.
     """
-    return {
+    stats: Dict[str, object] = {
         "compute_tables": pkg.compute_table_stats(),
         "complex_table": pkg.complex_table.stats(),
         "unique_matrix_nodes": pkg.num_unique_matrix_nodes(),
@@ -113,3 +116,7 @@ def package_statistics(pkg: DDPackage) -> Dict[str, object]:
         "matrix_nodes_created": pkg.matrix_nodes_created,
         "vector_nodes_created": pkg.vector_nodes_created,
     }
+    store_statistics = getattr(pkg, "store_statistics", None)
+    if callable(store_statistics):
+        stats["node_stores"] = store_statistics()
+    return stats

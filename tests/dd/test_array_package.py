@@ -1,0 +1,269 @@
+"""Tests for the array-native DD engine (`repro.dd.array_package` /
+`repro.dd.array_store`).
+
+The struct-of-arrays node store and the packed-integer algebra must be
+drop-in equivalents of the object engine: canonical handles play the
+role of node identity, the open-addressed unique table the role of the
+dict unique tables (including growth from pathologically small
+capacities), and dense exports must agree with numpy to the last ulp
+the shared complex table admits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.dd import (
+    ArrayDDPackage,
+    ComplexTable,
+    DDPackage,
+    NodeStore,
+    edge_to_matrix,
+    edge_to_vector,
+    matrix_dd_size,
+    matrix_signature,
+    vector_dd_size,
+    vector_signature,
+)
+from repro.dd.array_package import EDGE_SHIFT, WEIGHT_MASK, ZERO_EDGE
+from repro.dd.export import matrix_dd_to_dot
+from repro.dd.gates import circuit_dd, simulate_circuit_dd
+from tests.conftest import assert_allclose, random_circuit
+
+
+@pytest.fixture
+def pkg():
+    return ArrayDDPackage()
+
+
+class TestNodeStore:
+    def test_terminal_is_handle_zero(self):
+        store = NodeStore(2)
+        assert len(store) == 1
+        assert store.num_nodes == 0
+        assert store.levels[0] == -1
+
+    def test_lookup_is_canonical(self):
+        store = NodeStore(2)
+        handle1, created1 = store.lookup_or_insert(0, (0, 1, 0, 0))
+        handle2, created2 = store.lookup_or_insert(0, (0, 1, 0, 0))
+        assert created1 and not created2
+        assert handle1 == handle2 == 1
+
+    def test_distinct_fields_distinct_handles(self):
+        store = NodeStore(2)
+        a, _ = store.lookup_or_insert(0, (0, 1, 0, 0))
+        b, _ = store.lookup_or_insert(0, (0, 0, 0, 1))
+        c, _ = store.lookup_or_insert(1, (0, 1, 0, 0))
+        assert len({a, b, c}) == 3
+
+    def test_arity_and_capacity_validation(self):
+        with pytest.raises(ValueError):
+            NodeStore(1)
+        with pytest.raises(ValueError):
+            NodeStore(2, slot_capacity=0)
+
+    def test_growth_from_tiny_capacity(self):
+        """A 1-slot table must survive arbitrary insertions via growth."""
+        store = NodeStore(2, slot_capacity=1)
+        handles = {}
+        for level in range(6):
+            for wid in range(1, 9):
+                handle, created = store.lookup_or_insert(
+                    0, (0, wid, 0, level)
+                )
+                if (level, wid) in handles:
+                    assert not created
+                    assert handle == handles[(level, wid)]
+                else:
+                    assert created
+                    handles[(level, wid)] = handle
+        assert store.grows > 0
+        assert store.num_nodes == len(handles)
+        # Every node is still found after all the rehashing.
+        for (level, wid), expected in handles.items():
+            handle, created = store.lookup_or_insert(0, (0, wid, 0, level))
+            assert not created and handle == expected
+
+    def test_collision_chains_verified_by_fields(self):
+        """Probe-chain candidates are verified against the field arrays,
+        so hash collisions can never alias two distinct nodes."""
+        store = NodeStore(4, slot_capacity=2)
+        seen = set()
+        for i in range(1, 40):
+            handle, created = store.lookup_or_insert(
+                i % 3, (0, i, 0, 0, 0, 0, 0, 0)
+            )
+            assert created
+            assert handle not in seen
+            seen.add(handle)
+        assert store.collisions > 0
+        stats = store.stats()
+        assert stats["nodes"] == 39
+        assert stats["lookups"] == 39
+        assert stats["slot_capacity"] >= 64
+
+    def test_as_arrays_layout(self):
+        store = NodeStore(2)
+        store.lookup_or_insert(3, (0, 1, 0, 2))
+        arrays = store.as_arrays()
+        assert arrays["levels"].tolist() == [-1, 3]
+        assert arrays["children"].shape == (2, 2)
+        assert arrays["weights"][1].tolist() == [1, 2]
+
+
+class TestArrayAlgebra:
+    def test_identity_matrix(self, pkg):
+        dense = edge_to_matrix(pkg.identity(3), 3, pkg)
+        assert_allclose(dense, np.eye(8))
+
+    def test_basis_state(self, pkg):
+        dense = edge_to_vector(pkg.basis_state(3, bits=0b101), 3, pkg)
+        expected = np.zeros(8, dtype=complex)
+        expected[0b101] = 1.0
+        assert_allclose(dense, expected)
+
+    def test_circuit_matrix_matches_object_engine(self):
+        circuit = random_circuit(3, 20, seed=1)
+        obj = DDPackage()
+        arr = ArrayDDPackage()
+        expected = edge_to_matrix(circuit_dd(obj, circuit), 3)
+        actual = edge_to_matrix(circuit_dd(arr, circuit), 3, arr)
+        assert_allclose(actual, expected)
+
+    def test_simulation_matches_object_engine(self):
+        circuit = random_circuit(3, 20, seed=2)
+        obj = DDPackage()
+        arr = ArrayDDPackage()
+        expected = edge_to_vector(simulate_circuit_dd(obj, circuit), 3)
+        actual = edge_to_vector(simulate_circuit_dd(arr, circuit), 3, arr)
+        assert_allclose(actual, expected)
+
+    def test_unitarity_via_conjugate_transpose(self, pkg):
+        circuit = random_circuit(3, 15, seed=3)
+        u = circuit_dd(pkg, circuit)
+        product = pkg.multiply(pkg.conjugate_transpose(u), u)
+        assert pkg.is_identity(product, 3)
+
+    def test_fidelity_of_equal_states(self, pkg):
+        circuit = random_circuit(3, 12, seed=4)
+        state = simulate_circuit_dd(pkg, circuit)
+        assert pkg.fidelity(state, state) == pytest.approx(1.0)
+
+    def test_trace_of_identity(self, pkg):
+        assert pkg.trace(pkg.identity(4)) == pytest.approx(16.0)
+
+    def test_zero_edge_weight_mask(self, pkg):
+        """`is_zero` is a weight-id test, never `edge == 0`: arithmetic
+        can snap a weight to zero under a non-terminal handle."""
+        assert ZERO_EDGE & WEIGHT_MASK == 0
+        ghz = QuantumCircuit(2).h(0).cx(0, 1)
+        root = circuit_dd(pkg, ghz)
+        assert root & WEIGHT_MASK != 0
+        assert root >> EDGE_SHIFT != 0
+
+    def test_tiny_unique_table_same_results(self):
+        """Growth from a 2-slot unique table is behaviour-invisible."""
+        circuit = random_circuit(4, 30, seed=5)
+        table = ComplexTable()
+        small = ArrayDDPackage(complex_table=table, unique_table_slots=2)
+        table2 = ComplexTable()
+        big = ArrayDDPackage(complex_table=table2, unique_table_slots=1 << 12)
+        dense_small = edge_to_matrix(circuit_dd(small, circuit), 4, small)
+        dense_big = edge_to_matrix(circuit_dd(big, circuit), 4, big)
+        assert_allclose(dense_small, dense_big, atol=0)
+        assert small.mat.grows > 0
+
+    def test_store_statistics_shape(self, pkg):
+        circuit_dd(pkg, QuantumCircuit(2).h(0).cx(0, 1))
+        stats = pkg.store_statistics()
+        assert stats["matrix_store"]["nodes"] > 0
+        assert stats["matrix_store"]["hits"] >= 0
+        assert set(stats) == {"matrix_store", "vector_store"}
+
+    def test_dd_sizes_match_object_engine(self):
+        circuit = random_circuit(4, 25, seed=6)
+        obj = DDPackage()
+        arr = ArrayDDPackage()
+        obj_root = circuit_dd(obj, circuit)
+        arr_root = circuit_dd(arr, circuit)
+        assert matrix_dd_size(arr_root, arr) == matrix_dd_size(obj_root)
+        obj_state = simulate_circuit_dd(obj, circuit)
+        arr_state = simulate_circuit_dd(arr, circuit)
+        assert vector_dd_size(arr_state, arr) == vector_dd_size(obj_state)
+
+
+class TestHandleExportRoundTrip:
+    def test_dense_round_trip(self, pkg):
+        """Handle-based dense export is deterministic across packages."""
+        circuit = random_circuit(3, 18, seed=7)
+        root = circuit_dd(pkg, circuit)
+        dense = edge_to_matrix(root, 3, pkg)
+        fresh = ArrayDDPackage()
+        rebuilt = circuit_dd(fresh, circuit)
+        assert matrix_dd_size(rebuilt, fresh) == matrix_dd_size(root, pkg)
+        assert_allclose(edge_to_matrix(rebuilt, 3, fresh), dense, atol=0)
+
+    def test_dot_rendering_from_handles(self, pkg):
+        ghz = QuantumCircuit(2).h(0).cx(0, 1)
+        root = circuit_dd(pkg, ghz)
+        dot = matrix_dd_to_dot(root, pkg=pkg)
+        assert dot.startswith("digraph dd {")
+        assert dot.rstrip().endswith("}")
+        assert "terminal" in dot
+        # One circle node per DD node.
+        assert dot.count("shape=circle") == matrix_dd_size(root, pkg)
+
+    def test_dot_rendering_matches_object_engine(self):
+        """Both engines render the same graph for the same circuit."""
+        ghz = QuantumCircuit(2).h(0).cx(0, 1)
+        table = ComplexTable()
+        obj = DDPackage(complex_table=table)
+        arr = ArrayDDPackage(complex_table=table)
+        obj_dot = matrix_dd_to_dot(circuit_dd(obj, ghz))
+        arr_dot = matrix_dd_to_dot(circuit_dd(arr, ghz), pkg=arr)
+        assert obj_dot == arr_dot
+
+    def test_dot_zero_edge(self, pkg):
+        dot = matrix_dd_to_dot(ZERO_EDGE, pkg=pkg)
+        assert "root ->" not in dot
+
+    def test_missing_package_is_an_error(self, pkg):
+        root = circuit_dd(pkg, QuantumCircuit(1).h(0))
+        with pytest.raises(ValueError):
+            edge_to_matrix(root, 1)
+        with pytest.raises(ValueError):
+            matrix_dd_size(root)
+        with pytest.raises(ValueError):
+            matrix_signature(root)
+
+
+class TestSignatures:
+    def test_cross_engine_signatures_equal(self):
+        circuit = random_circuit(3, 20, seed=8)
+        table = ComplexTable()
+        obj = DDPackage(complex_table=table)
+        arr = ArrayDDPackage(complex_table=table)
+        assert matrix_signature(circuit_dd(obj, circuit)) == matrix_signature(
+            circuit_dd(arr, circuit), arr
+        )
+        assert vector_signature(
+            simulate_circuit_dd(obj, circuit)
+        ) == vector_signature(simulate_circuit_dd(arr, circuit), arr)
+
+    def test_different_circuits_different_signatures(self):
+        table = ComplexTable()
+        obj = DDPackage(complex_table=table)
+        a = matrix_signature(circuit_dd(obj, QuantumCircuit(2).h(0)))
+        b = matrix_signature(circuit_dd(obj, QuantumCircuit(2).h(1)))
+        assert a != b
+
+    def test_signature_comparison_is_cheap_on_deep_chains(self):
+        """Hash-consing keeps equality linear on identity-like chains
+        whose naive tree unfolding is exponential in depth."""
+        table = ComplexTable()
+        obj = DDPackage(complex_table=table)
+        arr = ArrayDDPackage(complex_table=table)
+        assert matrix_signature(obj.identity(64)) == matrix_signature(
+            arr.identity(64), arr
+        )

@@ -66,6 +66,46 @@ def test_dd_kernel_smoke_detects_error():
 
 
 @pytest.mark.bench_smoke
+def test_batched_simulation_smoke():
+    """Batched array-engine simulation on a compiled GHZ pair must not
+    be slower than the per-stimulus object-engine loop, and both must
+    consume the byte-identical stimulus sequence (same sha256 digest)."""
+    from repro.bench.algorithms import ghz_state as ghz
+    from repro.compile import manhattan_architecture
+
+    original = ghz(16)
+    compiled = compile_circuit(original, manhattan_architecture())
+
+    elapsed = {}
+    digests = {}
+    verdicts = {}
+    for label, array_dd in (("legacy", False), ("batched", True)):
+        config = Configuration(
+            strategy="simulation", seed=0, num_simulations=8,
+            array_dd=array_dd,
+        )
+        best = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            result = EquivalenceCheckingManager(
+                original, compiled, config
+            ).run()
+            best = min(best, time.perf_counter() - start)
+        elapsed[label] = best
+        digests[label] = result.statistics["stimuli_digest"]
+        verdicts[label] = result.equivalence
+        assert result.equivalence is Equivalence.PROBABLY_EQUIVALENT, label
+
+    assert digests["batched"] == digests["legacy"]
+    assert verdicts["batched"] == verdicts["legacy"]
+    # The array kernels win this cell ~2.4x; equality with a small
+    # scheduling allowance still catches a batching regression.
+    assert elapsed["batched"] <= elapsed["legacy"] * 1.1 + 0.05
+    counters = result.statistics["perf"]["counters"]
+    assert counters.get("dd.batch_width") == 8
+
+
+@pytest.mark.bench_smoke
 def test_zx_simplify_smoke():
     """Incremental and legacy ZX engines agree end-to-end and stay fast."""
     from repro.bench.algorithms import qft

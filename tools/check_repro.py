@@ -39,6 +39,14 @@ flagged line or the line directly above it — the reason is mandatory):
     limits, hard kill budgets and zombie-free reaping.  (Read-only
     ``multiprocessing`` queries such as ``active_children`` are fine.)
 
+``no-object-dd``
+    The array-native DD modules (``dd/array_*.py``) must never
+    construct the legacy node/edge objects (``VNode``/``MNode``/
+    ``VEdge``/``MEdge``): handles and packed integer edges are the
+    whole point, and one stray object allocation in a kernel hot loop
+    silently gives the speedup back.  Legacy-interop shims must carry
+    an explicit suppression.
+
 Exit code 0 when the tree is clean, 1 when any unsuppressed finding
 remains.  Run as ``python tools/check_repro.py [--root DIR]``.
 """
@@ -365,6 +373,38 @@ def check_no_fork(
 
 
 # ----------------------------------------------------------------------
+# Rule 6: no-object-dd
+# ----------------------------------------------------------------------
+#: Legacy object-engine constructors banned in the array DD modules.
+_OBJECT_DD_NAMES = {"VNode", "MNode", "VEdge", "MEdge"}
+
+
+def check_no_object_dd(
+    path: Path, tree: ast.AST, source_lines: Sequence[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None or dotted.split(".")[-1] not in _OBJECT_DD_NAMES:
+            continue
+        if _is_suppressed(source_lines, node.lineno, "no-object-dd"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "no-object-dd",
+                f"{dotted}() allocates a legacy DD object in an "
+                "array-native module; use handles and packed integer "
+                "edges",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
 def _iter_python_files(root: Path) -> Iterator[Path]:
     yield from sorted((root / "src" / "repro").rglob("*.py"))
 
@@ -400,6 +440,8 @@ def run_checks(root: Path) -> List[Finding]:
             findings.extend(check_no_wallclock(path, tree, lines))
         if parts[0] != "harness":
             findings.extend(check_no_fork(path, tree, lines))
+        if parts[0] == "dd" and parts[-1].startswith("array_"):
+            findings.extend(check_no_object_dd(path, tree, lines))
     return findings
 
 
