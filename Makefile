@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck fuzz fuzz-smoke bench bench-portfolio
+.PHONY: test lint typecheck fuzz fuzz-smoke serve-smoke soak bench bench-portfolio bench-service
 
 # Tier-1 gate: the full unit-test suite.
 test:
@@ -40,6 +40,18 @@ fuzz:
 fuzz-smoke:
 	$(PYTHON) -m pytest -m fuzz_smoke -q
 
+# End-to-end service smoke: real server + client over an AF_UNIX socket,
+# the same 20-pair batch twice; the second submit must be served from
+# the verdict cache and the draining shutdown must leave zero children.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
+# The chaos-soak acceptance campaign: 200 jobs through a 4-worker pool
+# under seeded kill/hang/leak faults plus two planted poison pairs.
+# Exit 0 = zero lost jobs, zero zombies, verdict parity with run_check.
+soak:
+	$(PYTHON) -m repro soak --jobs 200 --seed 0
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -47,3 +59,8 @@ bench:
 # concurrent strategy portfolio on Table-1-style compiled cells.
 bench-portfolio:
 	$(PYTHON) benchmarks/bench_portfolio.py
+
+# Regenerate BENCH_service.json: per-job fork sandbox vs the supervised
+# worker pool vs a full verdict-cache replay.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py

@@ -1,0 +1,187 @@
+"""Per-job fork sandbox vs the supervised worker pool vs the verdict cache.
+
+Pushes a batch of seeded fuzz pairs through three execution regimes —
+one forked sandbox per check (``run_check(isolate=True)``, the seed
+containment model), a :class:`~repro.service.pool.WorkerPool` of
+long-lived forked workers, and a second pooled batch answered entirely
+from the :class:`~repro.service.cache.VerdictCache` — and records the
+comparison in ``BENCH_service.json`` at the repository root.
+
+The headline claims this benchmark asserts: amortizing the fork across
+a worker's lifetime makes the pooled batch at least 1.5x faster than
+per-job forking, a full-cache replay is at least 5x faster again, every
+regime returns the identical verdict on every pair, the replay is
+answered with zero new checks, and the pool reaps every process it
+ever spawned.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py
+
+(The module intentionally defines no ``test_*``/pytest entry points;
+the tier-1 smoke guard lives in ``tests/perf/test_bench_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.trajectory import with_trajectory
+except ImportError:  # executed as a plain script: benchmarks/ is sys.path[0]
+    from trajectory import with_trajectory
+from repro.ec.configuration import Configuration
+from repro.fuzz.generator import generate_instance
+from repro.harness import run_check
+from repro.service import PoolConfig, VerdictCache, WorkerPool
+
+REPEATS = 2
+JOBS = 24
+WORKERS = 2
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _pairs():
+    """Seeded fuzz pairs: many small jobs, where per-job overhead shows."""
+    pairs = []
+    seed = 9000
+    while len(pairs) < JOBS:
+        _instance, pair = generate_instance(seed, family="clifford_t")
+        seed += 1
+        pairs.append((pair.circuit1, pair.circuit2))
+    return pairs
+
+
+def _configuration():
+    return Configuration(timeout=10.0, seed=0)
+
+
+def main() -> int:
+    pairs = _pairs()
+    configuration = _configuration()
+
+    # Arm 1 — the seed model: one forked sandbox per check.
+    sandbox_best = math.inf
+    sandbox_results = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        sandbox_results = [
+            run_check(circuit1, circuit2, configuration, isolate=True)
+            for circuit1, circuit2 in pairs
+        ]
+        sandbox_best = min(sandbox_best, time.perf_counter() - start)
+
+    # Arm 2 — the supervised pool, no cache: long-lived forked workers.
+    pool_best = math.inf
+    pooled_results = None
+    with WorkerPool(PoolConfig(workers=WORKERS)) as pool:
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            pooled_results = pool.run_batch(pairs, configuration, timeout=300.0)
+            pool_best = min(pool_best, time.perf_counter() - start)
+    pool_audit = pool.audit()
+
+    # Arm 3 — the pool fronted by the verdict cache: populate once
+    # (untimed), then time full-cache replays.
+    cache = VerdictCache()
+    replay_best = math.inf
+    replay_results = None
+    with WorkerPool(PoolConfig(workers=WORKERS), cache=cache) as cached_pool:
+        cached_pool.run_batch(pairs, configuration, timeout=300.0)
+        # ``cache.store`` only moves when a *fresh* worker execution
+        # lands a verdict, so a frozen store count proves the replays
+        # re-executed nothing.
+        stores_before = cached_pool.counters.counters.get("cache.store", 0)
+        hits_before = cached_pool.counters.counters.get("cache.hit", 0)
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            replay_results = cached_pool.run_batch(
+                pairs, configuration, timeout=300.0
+            )
+            replay_best = min(replay_best, time.perf_counter() - start)
+        new_stores = (
+            cached_pool.counters.counters.get("cache.store", 0)
+            - stores_before
+        )
+        cache_hits = (
+            cached_pool.counters.counters.get("cache.hit", 0) - hits_before
+        )
+    cached_audit = cached_pool.audit()
+
+    cases = []
+    for index, ((circuit1, circuit2), sandboxed, pooled, replayed) in enumerate(
+        zip(pairs, sandbox_results, pooled_results, replay_results)
+    ):
+        agree = (
+            sandboxed.equivalence
+            is pooled.equivalence
+            is replayed.equivalence
+        )
+        cases.append({
+            "job": index,
+            "num_gates": [len(circuit1), len(circuit2)],
+            "verdict": pooled.equivalence.value,
+            "verdicts_agree": agree,
+        })
+        assert agree, f"job {index}: verdicts diverged across regimes"
+
+    pool_speedup = sandbox_best / pool_best if pool_best else math.inf
+    replay_speedup = pool_best / replay_best if replay_best else math.inf
+    report = {
+        "benchmark": "service",
+        "description": (
+            "Per-job fork sandbox vs long-lived supervised worker pool "
+            "vs full verdict-cache replay on a batch of seeded fuzz "
+            "pairs"
+        ),
+        "repeats": REPEATS,
+        "jobs": JOBS,
+        "workers": WORKERS,
+        "python": platform.python_version(),
+        "cases": cases,
+        "summary": {
+            "sandbox_seconds": round(sandbox_best, 6),
+            "pool_seconds": round(pool_best, 6),
+            "replay_seconds": round(replay_best, 6),
+            "pool_vs_sandbox_speedup": round(pool_speedup, 3),
+            "replay_vs_pool_speedup": round(replay_speedup, 3),
+            "replay_new_checks": new_stores,
+            "replay_cache_hits": cache_hits,
+            "all_verdicts_agree":
+                all(case["verdicts_agree"] for case in cases),
+            "leaked_processes":
+                pool_audit["leaked"] + cached_audit["leaked"],
+        },
+    }
+    print(
+        f"sandbox {sandbox_best:6.3f}s  pool {pool_best:6.3f}s "
+        f"({pool_speedup:.2f}x)  replay {replay_best:6.3f}s "
+        f"({replay_speedup:.2f}x over pool)"
+    )
+    assert pool_speedup >= 1.5, (
+        f"pooled batch only {pool_speedup:.2f}x over per-job forking; "
+        "expected >= 1.5x"
+    )
+    assert replay_speedup >= 5.0, (
+        f"cache replay only {replay_speedup:.2f}x over the cold pooled "
+        "batch; expected >= 5x"
+    )
+    assert new_stores == 0, "cache replay re-executed checks"
+    assert cache_hits == JOBS * REPEATS, (
+        f"expected {JOBS * REPEATS} cache hits, got {cache_hits}"
+    )
+    assert pool_audit["leaked"] == 0 and cached_audit["leaked"] == 0
+    report = with_trajectory(report, OUTPUT)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(
+        f"pool {pool_speedup:.2f}x over per-job fork, cache replay "
+        f"{replay_speedup:.2f}x over the cold pool, 0 leaked processes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

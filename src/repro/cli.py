@@ -9,6 +9,9 @@ method merely requires a few lines of code") as a shell command::
     python -m repro stats circuit.qasm
     python -m repro bench --use-case compiled --scale small
     python -m repro fuzz --seed 0 --budget 300 --family clifford_t
+    python -m repro serve --workers 4 --cache cache.jsonl
+    python -m repro submit original.qasm compiled.qasm
+    python -m repro soak --jobs 200 --seed 0
 
 Because OpenQASM 2.0 has no syntax for layout metadata, ``compile`` writes
 a JSON sidecar (``<out>.layout.json``) with the initial layout and output
@@ -265,6 +268,102 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return outcome.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import RetryPolicy
+    from repro.service import (
+        PoolConfig,
+        QuarantineStore,
+        ServiceServer,
+        VerdictCache,
+        WorkerPool,
+    )
+
+    pool = WorkerPool(
+        PoolConfig(
+            workers=args.workers,
+            memory_mb=args.memory_limit,
+            max_jobs_per_worker=args.max_jobs_per_worker,
+            max_worker_rss_mb=args.max_worker_rss,
+            queue_depth=args.queue_depth,
+            restart_backoff=RetryPolicy(
+                max_retries=0,
+                backoff_base=0.05,
+                backoff_max=2.0,
+                jitter=0.5,
+                jitter_seed=args.seed,
+            ),
+        ),
+        cache=VerdictCache(args.cache) if args.cache else None,
+        quarantine=QuarantineStore(args.quarantine)
+        if args.quarantine
+        else None,
+    )
+    server = ServiceServer(pool, args.socket)
+    server.install_signal_handlers()
+    server.start()
+    print(
+        f"repro service: {args.workers} worker(s) on {args.socket} "
+        f"(queue depth {args.queue_depth}); Ctrl-C drains and exits"
+    )
+    server.serve_forever()
+    counters = pool.counters.counters
+    print(
+        "repro service: drained and stopped "
+        f"({counters.get('service.jobs_completed', 0)} job(s) served, "
+        f"{counters.get('cache.hit', 0)} cache hit(s), "
+        f"{counters.get('service.quarantined', 0)} quarantined)"
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.ec import Configuration
+    from repro.service import ServiceClient
+
+    if len(args.circuits) % 2 != 0:
+        raise SystemExit(
+            "submit expects an even number of circuits (pairs of "
+            "original/compiled QASM files)"
+        )
+    pairs = [
+        (_load_circuit(args.circuits[i]), _load_circuit(args.circuits[i + 1]))
+        for i in range(0, len(args.circuits), 2)
+    ]
+    configuration = Configuration(timeout=args.timeout, seed=args.seed)
+    with ServiceClient(args.socket) as client:
+        results = client.submit_batch(pairs, configuration)
+    worst = 0
+    for (index, result) in enumerate(results):
+        name1 = args.circuits[2 * index]
+        name2 = args.circuits[2 * index + 1]
+        print(f"{name1} vs {name2}: {result['equivalence']}")
+        equivalence = result["equivalence"]
+        if equivalence == "not_equivalent":
+            worst = max(worst, 1)
+        elif equivalence in ("no_information", "timeout"):
+            worst = max(worst, 2)
+    return worst
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.service import SoakSettings, run_soak
+
+    report = run_soak(
+        SoakSettings(
+            seed=args.seed,
+            jobs=args.jobs,
+            workers=args.workers,
+            fault_rate=args.fault_rate,
+            poison_pairs=args.poison_pairs,
+            check_timeout=args.timeout,
+        ),
+        log=print,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -456,6 +555,81 @@ def build_parser() -> argparse.ArgumentParser:
         "participant and cross-check its verdicts",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the supervised checking service on a local socket "
+        "(long-lived worker pool + verdict cache + poison quarantine)",
+    )
+    serve.add_argument(
+        "--socket", default="repro-service.sock", metavar="PATH",
+        help="AF_UNIX socket path the service listens on",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="bound on unresolved jobs; beyond it submissions are "
+        "rejected with a retry-after hint",
+    )
+    serve.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist the verdict cache to this JSONL journal",
+    )
+    serve.add_argument(
+        "--quarantine", default=None, metavar="PATH",
+        help="persist poison-pair records to this JSONL journal",
+    )
+    serve.add_argument(
+        "--memory-limit", type=int, default=None, metavar="MB",
+        help="address-space headroom per worker, in MiB",
+    )
+    serve.add_argument(
+        "--max-jobs-per-worker", type=int, default=64,
+        help="recycle a worker after this many jobs",
+    )
+    serve.add_argument(
+        "--max-worker-rss", type=float, default=1024.0, metavar="MB",
+        help="recycle a worker whose resident set exceeds this",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the deterministic restart-backoff jitter",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit QASM circuit pairs to a running service "
+        "(exit codes as verify, worst verdict wins)",
+    )
+    submit.add_argument(
+        "circuits", nargs="+",
+        help="an even list of QASM files: original1 compiled1 ...",
+    )
+    submit.add_argument("--socket", default="repro-service.sock")
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.set_defaults(func=_cmd_submit)
+
+    soak = sub.add_parser(
+        "soak",
+        help="deterministic chaos campaign against the service "
+        "(exit 0 = all invariants held)",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--jobs", type=int, default=200)
+    soak.add_argument("--workers", type=int, default=4)
+    soak.add_argument("--fault-rate", type=float, default=0.15)
+    soak.add_argument("--poison-pairs", type=int, default=2)
+    soak.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="cooperative per-check timeout during the soak",
+    )
+    soak.add_argument(
+        "--json", action="store_true",
+        help="print the full audited report as JSON",
+    )
+    soak.set_defaults(func=_cmd_soak)
     return parser
 
 

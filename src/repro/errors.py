@@ -132,6 +132,33 @@ class PortfolioDisagreement(CheckError):
     transient = False
 
 
+class PoolBroken(CheckError):
+    """The worker pool tripped its restart-storm circuit breaker.
+
+    Raised by :mod:`repro.service.pool` when freshly started workers
+    keep dying faster than the configured storm threshold — a systemic
+    environment problem (broken interpreter, cgroup OOM-killing every
+    fork, ...), not a property of any job.  Permanent for the lifetime
+    of the pool: resubmitting cannot help until the pool is rebuilt.
+    """
+
+    kind = "pool_broken"
+    transient = False
+
+
+class PoolSaturated(CheckError):
+    """The service's bounded job queue is full — explicit backpressure.
+
+    Transient by design: the client should wait
+    ``diagnostics["retry_after"]`` seconds and resubmit.  The service
+    rejects instead of buffering unboundedly, so a traffic spike
+    degrades into visible retries rather than invisible memory growth.
+    """
+
+    kind = "pool_saturated"
+    transient = True
+
+
 #: kind string -> exception class, for re-raising across the pipe.
 _KINDS: Dict[str, type] = {
     cls.kind: cls
@@ -143,6 +170,8 @@ _KINDS: Dict[str, type] = {
         CheckWorkerLost,
         InvalidInput,
         PortfolioDisagreement,
+        PoolBroken,
+        PoolSaturated,
     )
 }
 
@@ -187,17 +216,26 @@ def classify_exception(exc: BaseException) -> CheckError:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for *transient* failures.
+    """Bounded exponential backoff with deterministic seeded jitter.
 
-    ``delay(attempt)`` for attempt 0, 1, 2, ... is
-    ``min(backoff_base * backoff_factor**attempt, backoff_max)`` — fully
-    deterministic (no jitter) so journal replays and tests are stable.
+    ``delay(attempt)`` for attempt 0, 1, 2, ... starts from the capped
+    exponential ``min(backoff_base * backoff_factor**attempt,
+    backoff_max)`` and then subtracts a jitter share: the delay is
+    multiplied by ``1 - jitter * u`` where ``u`` in ``[0, 1)`` is derived
+    by hashing ``(jitter_seed, attempt)``.  The default ``jitter=0``
+    reproduces the pure exponential schedule; with jitter enabled the
+    schedule stays *fully reproducible* — the same seed and attempt
+    always yield the same delay, so journal replays and tests remain
+    stable while concurrent restarts (a worker-pool crash storm) are
+    decorrelated instead of thundering in lockstep.
     """
 
     max_retries: int = 2
     backoff_base: float = 0.1
     backoff_factor: float = 2.0
     backoff_max: float = 5.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def validate(self) -> None:
         if not isinstance(self.max_retries, int) or self.max_retries < 0:
@@ -208,13 +246,39 @@ class RetryPolicy:
                 raise ValueError(f"{name} must be a number, got {value!r}")
             if value < 0:
                 raise ValueError(f"{name} must be non-negative, got {value!r}")
+        if isinstance(self.jitter, bool) or not isinstance(
+            self.jitter, (int, float)
+        ):
+            raise ValueError(f"jitter must be a number, got {self.jitter!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be within [0, 1], got {self.jitter!r}"
+            )
+        if isinstance(self.jitter_seed, bool) or not isinstance(
+            self.jitter_seed, int
+        ):
+            raise ValueError(
+                f"jitter_seed must be an integer, got {self.jitter_seed!r}"
+            )
+
+    def _jitter_fraction(self, attempt: int) -> float:
+        """Deterministic ``u`` in ``[0, 1)`` for one ``(seed, attempt)``."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"repro-retry-jitter:{self.jitter_seed}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based), in seconds."""
-        return min(
+        base = min(
             self.backoff_base * self.backoff_factor ** attempt,
             self.backoff_max,
         )
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter * self._jitter_fraction(attempt))
 
 
 #: Retries disabled — every failure is reported on first occurrence.

@@ -36,21 +36,43 @@ def repro_name(instance: FuzzInstance) -> str:
     return f"{instance.family}-s{instance.seed}-{instance.recipe}"
 
 
+def open_corpus_journal(corpus_dir):
+    """Open (creating if needed) the corpus journal of one campaign.
+
+    Callers own the returned :class:`repro.harness.Journal` and must
+    close it — :func:`repro.fuzz.runner.run_fuzz` does so in a
+    ``finally`` block so an interrupted campaign (Ctrl-C mid-shrink)
+    cannot leak the file handle.
+    """
+    from repro.harness import Journal
+
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    journal_path = corpus / "journal.jsonl"
+    return Journal(
+        journal_path,
+        metadata=dict(_JOURNAL_METADATA),
+        resume=journal_path.exists(),
+    )
+
+
 def persist_repro(
     corpus_dir,
     instance: FuzzInstance,
     pair: LabeledPair,
     report: OracleReport,
     shrink_info: Optional[Dict[str, object]] = None,
+    journal=None,
 ) -> Path:
     """Write one minimized repro; returns its directory.
 
     The pair's circuits land as QASM (with a layout sidecar whenever the
     circuit carries non-trivial metadata, mirroring ``repro compile``),
     the labels/verdicts as ``meta.json``, and a summary line is appended
-    to ``corpus/journal.jsonl``.
+    to ``corpus/journal.jsonl``.  With ``journal`` the caller supplies
+    an already-open campaign journal (and keeps ownership of it);
+    without, one is opened and closed around the single append.
     """
-    from repro.harness import Journal
 
     corpus = Path(corpus_dir)
     target = corpus / repro_name(instance)
@@ -80,22 +102,18 @@ def persist_repro(
         meta["shrink"] = dict(shrink_info)
     (target / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
 
-    journal_path = corpus / "journal.jsonl"
-    with Journal(
-        journal_path,
-        metadata=_JOURNAL_METADATA,
-        resume=journal_path.exists(),
-    ) as journal:
-        journal.record(
-            repro_name(instance),
-            {
-                "family": instance.family,
-                "seed": instance.seed,
-                "recipe": instance.recipe,
-                "label": pair.label,
-                "gates": [len(pair.circuit1), len(pair.circuit2)],
-                "qubits": pair.num_qubits,
-                "disagreements": report.disagreements,
-            },
-        )
+    entry = {
+        "family": instance.family,
+        "seed": instance.seed,
+        "recipe": instance.recipe,
+        "label": pair.label,
+        "gates": [len(pair.circuit1), len(pair.circuit2)],
+        "qubits": pair.num_qubits,
+        "disagreements": report.disagreements,
+    }
+    if journal is not None:
+        journal.record(repro_name(instance), entry)
+    else:
+        with open_corpus_journal(corpus) as owned:
+            owned.record(repro_name(instance), entry)
     return target

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.ec.configuration import Configuration
-from repro.fuzz.corpus import persist_repro
+from repro.fuzz.corpus import open_corpus_journal, persist_repro
 from repro.fuzz.generator import (
     FAMILIES,
     FuzzInstance,
@@ -135,6 +135,12 @@ def run_fuzz(
     )
     outcome = FuzzOutcome(settings=settings)
     start = time.monotonic()
+    # The corpus journal is opened lazily (on the first disagreement)
+    # and owned by the campaign, so repeated repros share one handle.
+    # The ``finally`` at the bottom is load-bearing: an early
+    # KeyboardInterrupt (Ctrl-C mid-shrink, the common way to stop
+    # ``fuzz --isolate``) must close the handle instead of leaking it.
+    journal = None
 
     def reproduces(candidate: FuzzInstance) -> bool:
         try:
@@ -143,76 +149,85 @@ def run_fuzz(
             return False
         return not oracle.check(candidate_pair).agreed
 
-    for index in range(settings.budget):
-        if (
-            settings.max_seconds is not None
-            and time.monotonic() - start > settings.max_seconds
-        ):
-            outcome.stopped_early = True
-            emit(
-                f"wall-clock cap of {settings.max_seconds:.0f}s reached "
-                f"after {outcome.pairs_run} pairs"
-            )
-            break
-        instance_seed = settings.seed * 1_000_000 + index
-        try:
-            instance, pair = generate_instance(
-                instance_seed,
-                settings.family,
-                num_qubits=settings.num_qubits,
-                num_gates=settings.num_gates,
-            )
-        except MutationNotApplicable:
-            outcome.skipped_instances += 1
-            continue
-        report = oracle.check(pair)
-        outcome.pairs_run += 1
-        outcome.recipe_counts[pair.recipe] = (
-            outcome.recipe_counts.get(pair.recipe, 0) + 1
-        )
-        outcome.label_counts[pair.label] = (
-            outcome.label_counts.get(pair.label, 0) + 1
-        )
-        if report.missed_by_simulation:
-            outcome.missed_by_simulation += 1
-        if report.agreed:
-            if (index + 1) % 25 == 0:
+    try:
+        for index in range(settings.budget):
+            if (
+                settings.max_seconds is not None
+                and time.monotonic() - start > settings.max_seconds
+            ):
+                outcome.stopped_early = True
                 emit(
-                    f"[{index + 1}/{settings.budget}] all agreed "
-                    f"({outcome.pairs_run} pairs checked)"
+                    f"wall-clock cap of {settings.max_seconds:.0f}s reached "
+                    f"after {outcome.pairs_run} pairs"
                 )
-            continue
+                break
+            instance_seed = settings.seed * 1_000_000 + index
+            try:
+                instance, pair = generate_instance(
+                    instance_seed,
+                    settings.family,
+                    num_qubits=settings.num_qubits,
+                    num_gates=settings.num_gates,
+                )
+            except MutationNotApplicable:
+                outcome.skipped_instances += 1
+                continue
+            report = oracle.check(pair)
+            outcome.pairs_run += 1
+            outcome.recipe_counts[pair.recipe] = (
+                outcome.recipe_counts.get(pair.recipe, 0) + 1
+            )
+            outcome.label_counts[pair.label] = (
+                outcome.label_counts.get(pair.label, 0) + 1
+            )
+            if report.missed_by_simulation:
+                outcome.missed_by_simulation += 1
+            if report.agreed:
+                if (index + 1) % 25 == 0:
+                    emit(
+                        f"[{index + 1}/{settings.budget}] all agreed "
+                        f"({outcome.pairs_run} pairs checked)"
+                    )
+                continue
 
-        emit(
-            f"[{index + 1}/{settings.budget}] DISAGREEMENT on "
-            f"{pair.recipe} pair (label={pair.label}): "
-            f"{report.disagreements}"
-        )
-        shrunk = shrink_instance(
-            instance, reproduces, max_checks=settings.shrink_checks
-        )
-        final_instance = shrunk.instance
-        try:
-            final_pair = final_instance.build_pair()
-            final_report = oracle.check(final_pair)
-        except MutationNotApplicable:  # pragma: no cover - shrink guards this
-            final_instance, final_pair, final_report = instance, pair, report
-        disagreement = Disagreement(
-            final_instance, final_report, shrunk.describe()
-        )
-        path = persist_repro(
-            settings.corpus_dir,
-            final_instance,
-            final_pair,
-            final_report,
-            shrink_info=disagreement.shrink_info,
-        )
-        disagreement.path = str(path)
-        outcome.disagreements.append(disagreement)
-        emit(
-            f"  shrunk {shrunk.original_gates} -> {shrunk.shrunk_gates} "
-            f"base gates in {shrunk.checks} oracle calls; repro at {path}"
-        )
+            emit(
+                f"[{index + 1}/{settings.budget}] DISAGREEMENT on "
+                f"{pair.recipe} pair (label={pair.label}): "
+                f"{report.disagreements}"
+            )
+            shrunk = shrink_instance(
+                instance, reproduces, max_checks=settings.shrink_checks
+            )
+            final_instance = shrunk.instance
+            try:
+                final_pair = final_instance.build_pair()
+                final_report = oracle.check(final_pair)
+            except MutationNotApplicable:  # pragma: no cover - shrink guards
+                final_instance, final_pair, final_report = (
+                    instance, pair, report
+                )
+            disagreement = Disagreement(
+                final_instance, final_report, shrunk.describe()
+            )
+            if journal is None:
+                journal = open_corpus_journal(settings.corpus_dir)
+            path = persist_repro(
+                settings.corpus_dir,
+                final_instance,
+                final_pair,
+                final_report,
+                shrink_info=disagreement.shrink_info,
+                journal=journal,
+            )
+            disagreement.path = str(path)
+            outcome.disagreements.append(disagreement)
+            emit(
+                f"  shrunk {shrunk.original_gates} -> {shrunk.shrunk_gates} "
+                f"base gates in {shrunk.checks} oracle calls; repro at {path}"
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
     # Leak audit: every race/sandbox child must be SIGKILLed and reaped
     # by the time its check returns, so a campaign that leaves live

@@ -23,8 +23,18 @@ import signal
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-#: Supported fault modes.
-MODES = ("none", "hang", "memory_balloon", "crash", "exception")
+#: Supported fault modes.  ``leak`` and ``exit`` target *long-lived
+#: workers* (:mod:`repro.service.pool`): a leak survives the check that
+#: triggered it and inflates the worker's RSS until the pool's recycling
+#: threshold retires the worker; ``exit`` terminates the process cleanly
+#: without reporting, which the supervisor must classify as a lost
+#: worker even though no fatal signal was involved.
+MODES = ("none", "hang", "memory_balloon", "crash", "exception", "leak", "exit")
+
+#: Retained allocations of every ``leak`` fault fired in this process —
+#: deliberately never freed, so a recycled worker demonstrably carries
+#: the ballast until it is replaced.
+_LEAKS: list = []
 
 
 @dataclass(frozen=True)
@@ -35,11 +45,14 @@ class ChaosSpec:
         mode: ``"hang"`` (non-cooperative hot loop), ``"memory_balloon"``
             (allocate until the ceiling, then :class:`MemoryError`),
             ``"crash"`` (fatal signal — the process dies without
-            reporting), ``"exception"`` (unhandled ``RuntimeError``) or
-            ``"none"``.
-        balloon_mb: Allocation ceiling of the balloon, so an *unlimited*
-            sandbox still terminates deterministically instead of
-            swallowing the host's RAM.
+            reporting), ``"exception"`` (unhandled ``RuntimeError``),
+            ``"leak"`` (allocate ``balloon_mb`` and retain it forever —
+            the check succeeds but the worker's RSS never comes back
+            down), ``"exit"`` (clean ``os._exit(0)`` without reporting)
+            or ``"none"``.
+        balloon_mb: Allocation ceiling of the balloon/leak, so an
+            *unlimited* sandbox still terminates deterministically
+            instead of swallowing the host's RAM.
         signal_number: Signal the ``crash`` mode raises on itself.
     """
 
@@ -128,4 +141,17 @@ def trigger(spec: ChaosSpec) -> None:
         os._exit(70)
     if spec.mode == "exception":
         raise RuntimeError("chaos: injected checker exception")
+    if spec.mode == "leak":
+        # Allocate and *retain*: the check itself proceeds normally, but
+        # the process keeps the ballast forever — the signature of a
+        # slow native-extension leak that only worker recycling fixes.
+        for i in range(spec.balloon_mb):
+            chunk = bytearray(1024 * 1024)
+            chunk[0] = i % 256
+            _LEAKS.append(chunk)
+        return
+    if spec.mode == "exit":
+        # A clean exit without any report: no fatal signal, no payload —
+        # the supervisor sees EOF on the pipe and exitcode 0.
+        os._exit(0)
     raise ValueError(f"unknown chaos mode {spec.mode!r}")

@@ -26,6 +26,29 @@ _VERSION = 1
 Payload = Dict[str, object]
 
 
+def fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-created/renamed entry is durable.
+
+    An ``os.fsync`` on the file alone makes the *contents* durable; the
+    directory entry pointing at the file (after ``open(..., "w")`` of a
+    fresh journal or an ``os.replace`` rename) lives in the directory
+    inode and needs its own fsync, or a crash can leave a durable file
+    that is unreachable by name.  Platforms that refuse ``open`` on a
+    directory (some network filesystems, non-POSIX hosts) are tolerated:
+    durability degrades, correctness does not.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
 class JournalMismatch(ValueError):
     """A resumed journal's metadata does not match the current run."""
 
@@ -94,6 +117,14 @@ class Journal:
             self.completed = completed
             self.corrupt_lines = corrupt
             self._handle = self.path.open("a")
+            # A torn trailing line (crash mid-write) must not swallow the
+            # next record: terminate the fragment so appends start on a
+            # fresh line.  The fragment then stays one isolated corrupt
+            # line on every future replay instead of eating a good entry.
+            if self._tail_is_torn():
+                self._handle.write("\n")
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("w")
@@ -104,8 +135,20 @@ class Journal:
                     "metadata": self.metadata,
                 }
             )
+            # The header fsync above made the *contents* durable; the
+            # new directory entry needs the parent directory fsynced too.
+            fsync_directory(self.path.parent)
 
     # ------------------------------------------------------------------
+    def _tail_is_torn(self) -> bool:
+        """True when the file is non-empty and lacks a final newline."""
+        with self.path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
     def _write_line(self, record: Dict[str, object]) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
@@ -123,6 +166,47 @@ class Journal:
         return key in self.completed
 
     def __len__(self) -> int:
+        return len(self.completed)
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal to its live entries only.
+
+        Replays accumulate corrupt (torn) lines and superseded duplicate
+        keys; compaction rewrites the header plus one line per completed
+        key into a temporary file in the same directory, fsyncs it,
+        renames it over the journal with :func:`os.replace` and fsyncs
+        the parent directory — so at every instant exactly one complete
+        journal exists under the journal's name.  Returns the number of
+        live entries written.  The append handle is reopened on the new
+        file afterwards.
+        """
+        if not self._handle.closed:
+            self._handle.close()
+        temp = self.path.with_name(self.path.name + ".compact.tmp")
+        with temp.open("w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "journal": _MAGIC,
+                        "version": _VERSION,
+                        "metadata": self.metadata,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for key, payload in self.completed.items():
+                handle.write(
+                    json.dumps({"key": key, "payload": payload}, sort_keys=True)
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        # The rename is only durable once the directory entry is synced.
+        fsync_directory(self.path.parent)
+        self.corrupt_lines = 0
+        self._handle = self.path.open("a")
         return len(self.completed)
 
     def close(self) -> None:

@@ -18,9 +18,11 @@ from typing import Dict, Iterator
 #: unreviewed counter family.
 COUNTER_NAMESPACES = (
     "analysis",
+    "cache",
     "dd",
     "gate_applications",
     "portfolio",
+    "service",
     "zx",
 )
 

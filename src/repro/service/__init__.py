@@ -1,0 +1,28 @@
+"""Supervised equivalence-checking service.
+
+Long-lived worker pool (:mod:`repro.service.pool`), content-addressed
+crash-safe verdict cache (:mod:`repro.service.cache`), poison-pair
+quarantine (:mod:`repro.service.quarantine`), the local-socket batch
+API (:mod:`repro.service.server`) and the deterministic chaos-soak
+acceptance campaign (:mod:`repro.service.soak`).
+"""
+
+from repro.service.cache import VerdictCache, cache_key, configuration_fingerprint
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.service.quarantine import QuarantineStore
+from repro.service.server import ServiceClient, ServiceServer
+from repro.service.soak import SoakReport, SoakSettings, run_soak
+
+__all__ = [
+    "PoolConfig",
+    "QuarantineStore",
+    "ServiceClient",
+    "ServiceServer",
+    "SoakReport",
+    "SoakSettings",
+    "VerdictCache",
+    "WorkerPool",
+    "cache_key",
+    "configuration_fingerprint",
+    "run_soak",
+]

@@ -1,0 +1,370 @@
+"""Local-socket batch API over a :class:`~repro.service.pool.WorkerPool`.
+
+``python -m repro serve`` binds a ``multiprocessing.connection``
+listener on an ``AF_UNIX`` socket and serves *batches*: a client
+submits a list of circuit pairs plus one configuration and receives the
+list of verdict payloads when every job has resolved.  Circuits cross
+the socket as canonical OpenQASM plus layout metadata — the same
+serialization the verdict cache keys on — so client and server never
+exchange pickled checker objects.
+
+Backpressure is explicit: when accepting a batch would push the pool
+past its bounded queue depth, the server answers ``busy`` with a
+``retry_after`` estimate instead of buffering unboundedly
+(:class:`~repro.errors.PoolSaturated` semantics;
+:meth:`ServiceClient.submit_batch` sleeps and retries automatically).
+Shutdown is *draining*: on SIGINT/SIGTERM (or a client ``shutdown``
+request) the server stops accepting new batches, resolves every job in
+flight, answers the clients that are owed replies, and only then tears
+the pool down — no job is ever silently dropped.
+
+Concurrency model: one background thread accepts connections and hands
+them over; the main serve loop is the pool's single owner — it polls
+client sockets, submits jobs, pumps the supervisor, and replies.  This
+keeps the pool free of locks at the cost of one thread, which never
+touches pool state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import signal
+import threading
+import time
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.circuit import circuit_from_qasm, circuit_to_qasm
+from repro.circuit.circuit import QuantumCircuit
+from repro.ec.configuration import Configuration
+from repro.errors import CheckError, PoolSaturated
+from repro.service.pool import WorkerPool
+
+#: Handshake token so a stray client on the socket fails loudly.
+_FAMILY = "AF_UNIX"
+
+DEFAULT_SOCKET = "repro-service.sock"
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+def circuit_to_payload(circuit: QuantumCircuit) -> Dict[str, object]:
+    """Serialize one circuit for the socket (QASM + layout metadata)."""
+    return {
+        "qasm": circuit_to_qasm(circuit),
+        "initial_layout": dict(circuit.initial_layout or {}),
+        "output_permutation": dict(circuit.output_permutation or {}),
+    }
+
+
+def circuit_from_payload(payload: Dict[str, Any]) -> QuantumCircuit:
+    """Reconstruct one circuit sent with :func:`circuit_to_payload`."""
+    circuit = circuit_from_qasm(str(payload["qasm"]))
+    layout = payload.get("initial_layout")
+    if layout:
+        circuit.initial_layout = {int(k): int(v) for k, v in layout.items()}
+    permutation = payload.get("output_permutation")
+    if permutation:
+        circuit.output_permutation = {
+            int(k): int(v) for k, v in permutation.items()
+        }
+    return circuit
+
+
+def configuration_to_payload(
+    configuration: Optional[Configuration],
+) -> Optional[Dict[str, object]]:
+    if configuration is None:
+        return None
+    return dataclasses.asdict(configuration)
+
+
+def configuration_from_payload(
+    payload: Optional[Dict[str, Any]],
+) -> Optional[Configuration]:
+    if payload is None:
+        return None
+    known = {field.name for field in dataclasses.fields(Configuration)}
+    return Configuration(
+        **{key: value for key, value in payload.items() if key in known}
+    )
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class _PendingBatch:
+    """One accepted batch still owed a reply."""
+
+    __slots__ = ("conn", "job_ids")
+
+    def __init__(self, conn: Connection, job_ids: List[int]) -> None:
+        self.conn = conn
+        self.job_ids = job_ids
+
+
+class ServiceServer:
+    """Serve batch equivalence checks over a local socket.
+
+    Args:
+        pool: The supervised worker pool (owned by this server: the
+            serve loop is its only caller).
+        socket_path: Filesystem path of the ``AF_UNIX`` socket.
+    """
+
+    def __init__(self, pool: WorkerPool, socket_path: str) -> None:
+        self.pool = pool
+        self.socket_path = str(socket_path)
+        self._listener: Optional[Listener] = None
+        self._inbox: "queue.Queue[Connection]" = queue.Queue()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._clients: List[Connection] = []
+        self._pending: List[_PendingBatch] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ServiceServer":
+        if os.path.exists(self.socket_path):
+            # A stale socket from a crashed predecessor; binding over it
+            # requires the unlink (AF_UNIX sockets are filesystem nodes).
+            os.unlink(self.socket_path)
+        self._listener = Listener(self.socket_path, family=_FAMILY)
+        self.pool.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError):  # listener closed: shutting down
+                break
+            self._inbox.put(conn)
+
+    def request_stop(self, *_signal_args: object) -> None:
+        """Begin a draining shutdown (signal-handler compatible)."""
+        self._stopping.set()
+
+    def install_signal_handlers(self) -> None:
+        signal.signal(signal.SIGINT, self.request_stop)
+        signal.signal(signal.SIGTERM, self.request_stop)
+
+    # -- serve loop -----------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        """Run until a stop is requested, then drain and tear down."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stopping.is_set():
+                self._step(poll_interval)
+            # Draining shutdown: stop accepting, finish what was
+            # admitted, answer everyone who is owed a reply.
+            self._close_listener()
+            deadline = time.monotonic() + 60.0
+            while self._pending and time.monotonic() < deadline:
+                self._step(poll_interval, accept_new=False)
+        finally:
+            self._close_listener()
+            for conn in self._clients:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._clients.clear()
+            self.pool.shutdown(drain=False)
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+
+    def _close_listener(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+
+    def _step(self, poll_interval: float, accept_new: bool = True) -> None:
+        """One serve-loop turn: admit, read, pump, reply."""
+        if accept_new:
+            try:
+                while True:
+                    self._clients.append(self._inbox.get_nowait())
+            except queue.Empty:
+                pass
+        for conn in list(self._clients):
+            try:
+                if conn.poll(0):
+                    self._handle_request(conn, conn.recv())
+            except (EOFError, OSError):
+                self._drop_client(conn)
+        if self.pool.pending_jobs:
+            self.pool.pump(max_wait=poll_interval)
+        else:
+            self.pool.pump(max_wait=0.0)
+            time.sleep(poll_interval / 10)
+        self._reply_finished()
+
+    def _drop_client(self, conn: Connection) -> None:
+        if conn in self._clients:
+            self._clients.remove(conn)
+        # Jobs of a vanished client still run (the pool may cache their
+        # verdicts) but the reply is no longer owed.
+        for batch in list(self._pending):
+            if batch.conn is conn:
+                self._pending.remove(batch)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _handle_request(self, conn: Connection, request: Dict[str, Any]) -> None:
+        op = request.get("op")
+        if op == "submit":
+            self._handle_submit(conn, request)
+        elif op == "stats":
+            conn.send(
+                {
+                    "ok": True,
+                    "counters": self.pool.counters.as_dict(),
+                    "pending_jobs": self.pool.pending_jobs,
+                    "quarantined": len(self.pool.quarantine),
+                    "broken": self.pool.broken,
+                }
+            )
+        elif op == "ping":
+            conn.send({"ok": True})
+        elif op == "shutdown":
+            conn.send({"ok": True, "stopping": True})
+            self.request_stop()
+        else:
+            conn.send(
+                {"ok": False, "error": {"kind": "invalid_input",
+                                        "message": f"unknown op {op!r}"}}
+            )
+
+    def _handle_submit(self, conn: Connection, request: Dict[str, Any]) -> None:
+        pairs = request.get("pairs") or []
+        configuration = configuration_from_payload(
+            request.get("configuration")
+        )
+        # Admission control up front: a batch is admitted whole or
+        # rejected whole, so a client never gets a half-submitted batch.
+        if len(pairs) > self.pool.capacity_left():
+            self.pool.counters.count("service.rejected_busy")
+            conn.send(
+                {
+                    "ok": False,
+                    "busy": True,
+                    "retry_after": self.pool.retry_after_estimate(),
+                    "error": PoolSaturated(
+                        "job queue is full",
+                        retry_after=self.pool.retry_after_estimate(),
+                    ).to_dict(),
+                }
+            )
+            return
+        try:
+            job_ids = [
+                self.pool.submit(
+                    circuit_from_payload(payload1),
+                    circuit_from_payload(payload2),
+                    configuration,
+                )
+                for payload1, payload2 in pairs
+            ]
+        except CheckError as error:
+            conn.send({"ok": False, "error": error.to_dict()})
+            return
+        self._pending.append(_PendingBatch(conn, job_ids))
+
+    def _reply_finished(self) -> None:
+        for batch in list(self._pending):
+            results = [self.pool.result(job_id) for job_id in batch.job_ids]
+            if any(result is None for result in results):
+                continue
+            self._pending.remove(batch)
+            payload = {
+                "ok": True,
+                "results": [result.to_dict() for result in results],  # type: ignore[union-attr]
+            }
+            for job_id in batch.job_ids:
+                self.pool.forget(job_id)
+            try:
+                batch.conn.send(payload)
+            except (BrokenPipeError, OSError):
+                self._drop_client(batch.conn)
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Blocking client of one :class:`ServiceServer` socket."""
+
+    def __init__(self, socket_path: str) -> None:
+        self.socket_path = str(socket_path)
+        self._conn: Connection = Client(self.socket_path, family=_FAMILY)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def _request(self, payload: Dict[str, object]) -> Dict[str, Any]:
+        self._conn.send(payload)
+        return self._conn.recv()
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self._request({"op": "shutdown"})
+
+    def submit_batch(
+        self,
+        pairs: List[Tuple[QuantumCircuit, QuantumCircuit]],
+        configuration: Optional[Configuration] = None,
+        max_attempts: int = 10,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> List[Dict[str, Any]]:
+        """Submit one batch; returns verdict payloads in order.
+
+        ``busy`` rejections are retried up to ``max_attempts`` times,
+        honouring the server's ``retry_after`` hint; a still-saturated
+        service then raises :class:`~repro.errors.PoolSaturated`.
+        """
+        request = {
+            "op": "submit",
+            "pairs": [
+                (circuit_to_payload(circuit1), circuit_to_payload(circuit2))
+                for circuit1, circuit2 in pairs
+            ],
+            "configuration": configuration_to_payload(configuration),
+        }
+        for _attempt in range(max_attempts):
+            reply = self._request(request)
+            if reply.get("ok"):
+                return list(reply["results"])
+            if reply.get("busy"):
+                sleep(float(reply.get("retry_after", 0.1)))
+                continue
+            from repro.errors import error_from_dict
+
+            raise error_from_dict(reply.get("error") or {})
+        raise PoolSaturated(
+            "service still saturated after retries", attempts=max_attempts
+        )

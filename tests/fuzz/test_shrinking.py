@@ -147,3 +147,54 @@ class TestPlantedBugEndToEnd:
             if line and "payload" in line
         ]
         assert len(entries) >= 2
+
+
+class TestJournalLifetime:
+    def test_interrupt_mid_campaign_closes_journal(self, tmp_path, monkeypatch):
+        """Ctrl-C after the first persisted repro must not leak the
+        campaign's journal handle — run_fuzz closes it in ``finally``."""
+        from repro.fuzz import runner as runner_module
+
+        opened = []
+        real_open = runner_module.open_corpus_journal
+
+        def tracking_open(corpus_dir):
+            journal = real_open(corpus_dir)
+            opened.append(journal)
+            return journal
+
+        monkeypatch.setattr(
+            runner_module, "open_corpus_journal", tracking_open
+        )
+
+        def hook(name, pair, result):
+            # Once the first repro is on disk (the journal exists), the
+            # next oracle call simulates the operator's Ctrl-C.
+            if opened:
+                raise KeyboardInterrupt
+            if name == "zx_incremental" and len(pair.circuit2) > 8:
+                return dataclasses.replace(
+                    result, equivalence=Equivalence.NOT_EQUIVALENT
+                )
+            return result
+
+        settings = FuzzSettings(
+            seed=5,
+            budget=6,
+            family="clifford_t",
+            num_qubits=3,
+            num_gates=16,
+            corpus_dir=str(tmp_path / "corpus"),
+            check_timeout=20.0,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_fuzz(settings, verdict_hook=hook)
+
+        # The campaign opened exactly one journal and closed it on the
+        # way out, and the already-persisted repro survived the abort.
+        assert len(opened) == 1
+        assert opened[0]._handle.closed
+        journal_text = (tmp_path / "corpus" / "journal.jsonl").read_text()
+        assert any(
+            "payload" in line for line in journal_text.splitlines()
+        )

@@ -96,6 +96,40 @@ class TestRetryPolicy:
             RetryPolicy(max_retries=-1).validate()
         with pytest.raises(ValueError):
             RetryPolicy(backoff_base=-0.1).validate()
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5).validate()
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1).validate()
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_seed=1.5).validate()  # type: ignore[arg-type]
+
+    def test_zero_jitter_reproduces_pure_exponential(self):
+        plain = RetryPolicy(backoff_base=0.5, backoff_max=3.0)
+        explicit = RetryPolicy(backoff_base=0.5, backoff_max=3.0, jitter=0.0)
+        assert [plain.delay(i) for i in range(5)] == [
+            explicit.delay(i) for i in range(5)
+        ]
+
+    def test_jitter_is_deterministic_per_seed_and_attempt(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.5, jitter_seed=42)
+        twin = RetryPolicy(backoff_base=1.0, jitter=0.5, jitter_seed=42)
+        schedule = [policy.delay(i) for i in range(8)]
+        # Same seed, same attempt -> bit-identical delay, every time.
+        assert schedule == [twin.delay(i) for i in range(8)]
+        assert schedule == [policy.delay(i) for i in range(8)]
+        other = RetryPolicy(backoff_base=1.0, jitter=0.5, jitter_seed=43)
+        assert schedule != [other.delay(i) for i in range(8)]
+
+    def test_jitter_only_shrinks_delay_within_bounds(self):
+        policy = RetryPolicy(
+            backoff_base=0.5, backoff_max=3.0, jitter=0.5, jitter_seed=7
+        )
+        plain = RetryPolicy(backoff_base=0.5, backoff_max=3.0)
+        for attempt in range(8):
+            base = plain.delay(attempt)
+            delay = policy.delay(attempt)
+            # jitter subtracts at most a `jitter` share and never adds.
+            assert base * (1.0 - policy.jitter) <= delay <= base
 
     def test_transient_failure_retried_then_succeeds(self):
         calls = []

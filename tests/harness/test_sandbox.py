@@ -150,6 +150,82 @@ class TestChaosContainment:
                 chaos=ChaosSpec(mode="crash", signal_number=signal.SIGKILL),
             )
 
+    @pytest.mark.chaos
+    def test_third_party_sigkill_is_worker_lost(self, tiny_pair):
+        """A kill from *outside* the sandbox (OOM killer, operator) is
+        classified as worker loss, not as a timeout or crash."""
+        import multiprocessing
+        import os
+        import signal
+        import threading
+
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+
+        def kill_first_child():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                children = multiprocessing.active_children()
+                if children:
+                    try:
+                        os.kill(children[0].pid, signal.SIGKILL)
+                    except ProcessLookupError:  # pragma: no cover - raced exit
+                        pass
+                    return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=kill_first_child)
+        killer.start()
+        try:
+            # The hang keeps the child alive until the external kill
+            # lands, well inside the 30 s hard budget.
+            with pytest.raises(CheckWorkerLost) as info:
+                run_check_isolated(
+                    original, compiled, config, chaos=ChaosSpec(mode="hang")
+                )
+        finally:
+            killer.join()
+        assert info.value.transient
+
+    @pytest.mark.chaos
+    def test_external_sigkill_degrades_to_no_information(self, tiny_pair):
+        """run_check never raises on worker loss: the verdict degrades to
+        NO_INFORMATION with a structured worker_lost failure record."""
+        import multiprocessing
+        import os
+        import signal
+        import threading
+
+        original, compiled = tiny_pair
+        config = Configuration(strategy="combined", seed=0, timeout=30)
+
+        def kill_first_child():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                children = multiprocessing.active_children()
+                if children:
+                    try:
+                        os.kill(children[0].pid, signal.SIGKILL)
+                    except ProcessLookupError:  # pragma: no cover - raced exit
+                        pass
+                    return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=kill_first_child)
+        killer.start()
+        try:
+            result = run_check(
+                original,
+                compiled,
+                config,
+                chaos=ChaosSpec(mode="hang"),
+                retry=RetryPolicy(max_retries=0),
+            )
+        finally:
+            killer.join()
+        assert result.equivalence is Equivalence.NO_INFORMATION
+        assert result.failure["kind"] == "worker_lost"
+
     def test_injected_exception_round_trips_structured(self, tiny_pair):
         original, compiled = tiny_pair
         config = Configuration(strategy="combined", seed=0, timeout=30)

@@ -1,0 +1,151 @@
+"""Verdict cache: content-addressed keys, checksum recovery, compaction."""
+
+import dataclasses
+import json
+
+from repro.bench.algorithms import ghz_state
+from repro.compile import compile_circuit, line_architecture
+from repro.ec.configuration import Configuration
+from repro.service.cache import (
+    VerdictCache,
+    cache_key,
+    configuration_fingerprint,
+)
+
+
+def _pair():
+    original = ghz_state(3)
+    compiled = compile_circuit(original, line_architecture(4))
+    return original, compiled
+
+
+def _payload(verdict="equivalent"):
+    return {
+        "equivalence": verdict,
+        "strategy": "combined",
+        "time": 0.01,
+        "statistics": {"checks": 1},
+    }
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        circuit1, circuit2 = _pair()
+        config = Configuration(timeout=5.0, seed=0)
+        assert cache_key(circuit1, circuit2, config) == cache_key(
+            circuit1, circuit2, config
+        )
+
+    def test_sensitive_to_every_component(self):
+        circuit1, circuit2 = _pair()
+        config = Configuration(timeout=5.0, seed=0)
+        base = cache_key(circuit1, circuit2, config)
+        # Different circuit content.
+        assert cache_key(circuit1, ghz_state(3), config) != base
+        # Different configuration (any field participates).
+        other = dataclasses.replace(config, seed=1)
+        assert cache_key(circuit1, circuit2, other) != base
+        # Order matters: (A, B) and (B, A) are distinct jobs.
+        assert cache_key(circuit2, circuit1, config) != base
+
+    def test_layout_metadata_changes_the_key(self):
+        circuit1, circuit2 = _pair()
+        config = Configuration(timeout=5.0, seed=0)
+        base = cache_key(circuit1, circuit2, config)
+        relabeled = compile_circuit(ghz_state(3), line_architecture(4))
+        relabeled.output_permutation = {0: 1, 1: 0, 2: 2, 3: 3}
+        assert cache_key(circuit1, relabeled, config) != base
+
+    def test_configuration_fingerprint_covers_all_fields(self):
+        config = Configuration(timeout=5.0, seed=0)
+        fingerprint = configuration_fingerprint(config)
+        for field in dataclasses.fields(Configuration):
+            if field.name == "timeout":
+                changed = dataclasses.replace(config, timeout=9.0)
+            elif field.name == "seed":
+                changed = dataclasses.replace(config, seed=99)
+            else:
+                continue
+            assert configuration_fingerprint(changed) != fingerprint
+
+
+class TestInMemoryCache:
+    def test_roundtrip_and_counters(self):
+        cache = VerdictCache()
+        assert cache.get("k") is None
+        assert cache.put("k", _payload())
+        assert cache.get("k")["equivalence"] == "equivalent"
+        counters = cache.counters.as_dict()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.store"] == 1
+
+    def test_get_returns_a_copy(self):
+        cache = VerdictCache()
+        cache.put("k", _payload())
+        first = cache.get("k")
+        first["statistics"]["mutated"] = True
+        assert "mutated" not in cache.get("k")["statistics"]
+
+    def test_degraded_results_rejected(self):
+        cache = VerdictCache()
+        degraded = _payload("no_information")
+        degraded["statistics"]["failure"] = {"kind": "crashed"}
+        assert not cache.put("k", degraded)
+        assert "k" not in cache
+        counters = cache.counters.as_dict()["counters"]
+        assert counters["cache.rejected_degraded"] == 1
+
+
+class TestPersistentCache:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        with VerdictCache(path) as cache:
+            cache.put("a", _payload())
+            cache.put("b", _payload("not_equivalent"))
+        with VerdictCache(path) as reopened:
+            assert len(reopened) == 2
+            assert reopened.get("b")["equivalence"] == "not_equivalent"
+
+    def test_checksum_mismatch_drops_entry_and_compacts(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        with VerdictCache(path) as cache:
+            cache.put("good", _payload())
+            cache.put("bad", _payload("not_equivalent"))
+        # Flip the persisted verdict of one entry without updating its
+        # checksum — the signature of on-disk corruption.
+        lines = path.read_text().splitlines()
+        lines = [
+            line.replace("not_equivalent", "equivalent")
+            if '"bad"' in line
+            else line
+            for line in lines
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with VerdictCache(path) as recovered:
+            assert "good" in recovered
+            assert "bad" not in recovered
+            counters = recovered.counters.as_dict()["counters"]
+            assert counters["cache.rejected_checksum"] == 1
+            assert counters["cache.compactions"] == 1
+        # The compaction rewrote the file: only verified entries remain,
+        # and a further reopen is clean.
+        with VerdictCache(path) as again:
+            assert len(again) == 1
+            assert "cache.rejected_checksum" not in (
+                again.counters.as_dict()["counters"]
+            )
+
+    def test_torn_tail_tolerated_and_compacted(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        with VerdictCache(path) as cache:
+            cache.put("whole", _payload())
+        with path.open("a") as handle:
+            handle.write('{"key": "torn", "payload": {"resu')
+        with VerdictCache(path) as recovered:
+            assert recovered.get("whole") is not None
+            counters = recovered.counters.as_dict()["counters"]
+            assert counters["cache.compactions"] == 1
+        # Every surviving line is valid JSON after compaction.
+        for line in path.read_text().splitlines():
+            json.loads(line)

@@ -1,0 +1,59 @@
+"""Scaled-down chaos-soak acceptance run (the 200-job campaign's shape).
+
+One seeded campaign through the real pool: generated pairs with random
+transient faults (kill/hang/leak), two planted poison pairs, a verdict
+baseline from direct ``run_check``, and a full-cache replay — asserting
+the service-level invariants end to end: zero lost jobs, zero leaked
+processes, exactly the planted pairs quarantined, verdict parity, and
+bit-identical cache replays.
+"""
+
+import pytest
+
+from repro.service import SoakSettings, run_soak
+
+
+@pytest.mark.chaos
+class TestChaosSoak:
+    def test_scaled_soak_holds_every_invariant(self):
+        settings = SoakSettings(
+            seed=7,
+            jobs=24,
+            workers=3,
+            fault_rate=0.2,
+            poison_pairs=2,
+            check_timeout=3.0,
+            grace=0.5,
+        )
+        report = run_soak(settings)
+        assert report.ok, report.to_dict()
+        # Spelled-out invariants so a regression names what it broke.
+        assert report.submitted == report.resolved
+        assert report.lost_jobs == 0
+        assert report.verdict_mismatches == []
+        assert report.poison_mismatches == []
+        assert report.cache_mismatches == []
+        assert report.quarantined == settings.poison_pairs
+        assert report.audit["leaked"] == 0
+        # The campaign genuinely exercised the supervisor: faults were
+        # injected and workers died and were replaced.
+        assert sum(report.faults_injected.values()) > 0
+        assert report.worker_deaths > 0
+        assert report.worker_restarts > 0
+        assert report.cache_hits > 0
+
+    def test_soak_is_deterministic_in_seed(self):
+        settings = SoakSettings(
+            seed=3,
+            jobs=10,
+            workers=2,
+            fault_rate=0.3,
+            poison_pairs=1,
+            check_timeout=3.0,
+            grace=0.5,
+        )
+        first = run_soak(settings)
+        second = run_soak(settings)
+        assert first.ok and second.ok
+        assert first.faults_injected == second.faults_injected
+        assert first.quarantined == second.quarantined

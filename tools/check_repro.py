@@ -34,8 +34,9 @@ flagged line or the line directly above it — the reason is mandatory):
 ``no-fork``
     Process creation — ``os.fork``/``os.forkpty``, ``subprocess.*``
     spawns, ``multiprocessing`` ``Process``/``get_context``/``Pool`` —
-    is banned outside ``repro/harness/``: every child the project
-    creates must go through the sandbox/racer so it gets resource
+    is banned outside ``repro/harness/`` and the supervised worker pool
+    (``repro/service/pool.py``): every child the project creates must go
+    through the sandbox/racer or the pool supervisor so it gets resource
     limits, hard kill budgets and zombie-free reaping.  (Read-only
     ``multiprocessing`` queries such as ``active_children`` are fine.)
 
@@ -438,7 +439,10 @@ def run_checks(root: Path) -> List[Finding]:
         )
         if parts[0] in _PURE_PACKAGES:
             findings.extend(check_no_wallclock(path, tree, lines))
-        if parts[0] != "harness":
+        # The supervised worker pool is the one non-harness module that
+        # legitimately owns child processes: it reuses the sandbox's
+        # limits and start-method and adds its own reaping/audit layer.
+        if parts[0] != "harness" and relative.as_posix() != "service/pool.py":
             findings.extend(check_no_fork(path, tree, lines))
         if parts[0] == "dd" and parts[-1].startswith("array_"):
             findings.extend(check_no_object_dd(path, tree, lines))
