@@ -4,11 +4,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck fuzz fuzz-smoke serve-smoke soak bench bench-portfolio bench-service
+.PHONY: test lint typecheck fuzz fuzz-smoke serve-smoke soak bench bench-portfolio bench-service bench-parameterized
 
-# Tier-1 gate: the full unit-test suite.
+# Tier-1 gate: the full unit-test suite.  When pytest-cov is installed
+# (pip install .[test], as CI does) the run also enforces the line-
+# coverage floors of tools/coverage_floor.json on repro.ec and
+# repro.circuit; without it (the hermetic test container) the suite
+# runs plain — the gate degrades, it never blocks on a missing tool.
 test:
-	$(PYTHON) -m pytest -x -q
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -x -q \
+			--cov=repro.ec --cov=repro.circuit \
+			--cov-report=json:coverage.json --cov-report=term && \
+		$(PYTHON) tools/check_coverage.py; \
+	else \
+		$(PYTHON) -m pytest -x -q; \
+	fi
 
 # Project-invariant AST lint (always available) plus ruff when installed.
 # ruff/mypy are optional-dependency tools ([project.optional-dependencies]
@@ -64,3 +75,9 @@ bench-portfolio:
 # worker pool vs a full verdict-cache replay.
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+# Regenerate BENCH_parameterized.json: symbolic-first vs
+# instantiate-only parameterized equivalence checking on seeded ansatz
+# pairs.
+bench-parameterized:
+	$(PYTHON) benchmarks/bench_parameterized.py

@@ -1,0 +1,186 @@
+"""Symbolic-first vs instantiate-only parameterized equivalence checking.
+
+Runs seeded ``parameterized``-family ansatz pairs (the fuzz generator's
+templates: shared free parameters, rational coefficients, CX/CZ
+entangling ladders) through the ``parameterized`` strategy twice — once
+with the symbolic phase-polynomial/ZX ladder enabled (the default) and
+once instantiate-only (``parameterized_symbolic=False``, mqt-qcec's
+baseline behaviour of checking a handful of concrete instantiations) —
+and records the comparison in ``BENCH_parameterized.json`` at the
+repository root.
+
+Verdict agreement is judged by polarity: the symbolic paths *prove*
+equivalence for all valuations where the instantiation fallback can only
+report ``PROBABLY_EQUIVALENT``, so the enum values legitimately differ
+while the answer is the same.
+
+The headline claims this benchmark asserts:
+
+* polarity never diverges between the two modes, and never against the
+  generator's ground-truth label;
+* every ``NOT_EQUIVALENT`` verdict carries a witness valuation;
+* on equivalent pairs decided symbolically, symbolic-first beats the
+  instantiate-only arm (which pays ``num_instantiations`` full concrete
+  checks) on geometric-mean wall time.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parameterized.py
+
+(The module intentionally defines no ``test_*``/pytest entry points; the
+tier-1 smoke guard lives in ``tests/perf/test_bench_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.trajectory import with_trajectory
+except ImportError:  # executed as a plain script: benchmarks/ is sys.path[0]
+    from trajectory import with_trajectory
+from repro.ec import Configuration, EquivalenceCheckingManager
+from repro.ec.results import Equivalence
+from repro.fuzz.generator import generate_instance
+
+REPEATS = 3
+TIMEOUT = 60.0
+NUM_PAIRS = 14
+NUM_INSTANTIATIONS = 8
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parameterized.json"
+
+
+def polarity(verdict: Equivalence) -> str:
+    if verdict in (
+        Equivalence.EQUIVALENT,
+        Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+        Equivalence.PROBABLY_EQUIVALENT,
+    ):
+        return "equivalent"
+    if verdict is Equivalence.NOT_EQUIVALENT:
+        return "not_equivalent"
+    return "undecided"
+
+
+def timed_check(pair, symbolic: bool):
+    config = Configuration(
+        strategy="parameterized",
+        parameterized_symbolic=symbolic,
+        num_instantiations=NUM_INSTANTIATIONS,
+        static_analysis=False,
+        timeout=TIMEOUT,
+        seed=0,
+    )
+    best = math.inf
+    result = None
+    for _ in range(REPEATS):
+        manager = EquivalenceCheckingManager(
+            pair.circuit1, pair.circuit2, config
+        )
+        start = time.perf_counter()
+        result = manager.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    cases = []
+    for seed in range(NUM_PAIRS):
+        _, pair = generate_instance(seed, family="parameterized")
+        sym_time, sym_result = timed_check(pair, symbolic=True)
+        inst_time, inst_result = timed_check(pair, symbolic=False)
+        sym_stats = sym_result.statistics.get("parameterized", {})
+        inst_stats = inst_result.statistics.get("parameterized", {})
+        speedup = inst_time / sym_time if sym_time else math.inf
+        agree = polarity(sym_result.equivalence) == polarity(
+            inst_result.equivalence
+        )
+        label_match = polarity(sym_result.equivalence) == pair.label
+        case = {
+            "case": f"seed_{seed}/{pair.recipe}",
+            "label": pair.label,
+            "num_qubits": pair.num_qubits,
+            "num_gates": [len(pair.circuit1), len(pair.circuit2)],
+            "symbolic_seconds": round(sym_time, 6),
+            "instantiate_seconds": round(inst_time, 6),
+            "speedup": round(speedup, 3),
+            "symbolic_path": sym_stats.get("path"),
+            "verdict_symbolic": sym_result.equivalence.value,
+            "verdict_instantiate": inst_result.equivalence.value,
+            "verdicts_agree": agree,
+            "label_match": label_match,
+        }
+        for mode, stats in (("symbolic", sym_stats), ("instantiate", inst_stats)):
+            if "witness_valuation" in stats:
+                case[f"witness_{mode}"] = stats["witness_valuation"]
+        cases.append(case)
+        print(
+            f"{case['case']:36s} sym {sym_time:7.4f}s  "
+            f"inst {inst_time:7.4f}s  {speedup:6.2f}x  "
+            f"path={case['symbolic_path']}  agree={agree}"
+        )
+        assert agree, f"{case['case']}: verdict polarity diverged"
+        assert label_match, f"{case['case']}: verdict contradicts the label"
+        if pair.label == "not_equivalent":
+            assert "witness_symbolic" in case, (
+                f"{case['case']}: NEQ verdict without a witness valuation"
+            )
+
+    eq_symbolic = [
+        case for case in cases
+        if case["label"] == "equivalent"
+        and case["symbolic_path"] in ("phase_polynomial", "zx_symbolic")
+    ]
+    eq_speedups = [case["speedup"] for case in eq_symbolic]
+    speedups = [case["speedup"] for case in cases]
+
+    def geomean(values):
+        return round(
+            math.exp(sum(math.log(v) for v in values) / len(values)), 3
+        ) if values else None
+
+    report = {
+        "benchmark": "parameterized",
+        "description": (
+            "Symbolic-first (phase polynomial + symbolic ZX, then "
+            "instantiate) vs instantiate-only parameterized equivalence "
+            "checking on seeded ansatz pairs from the fuzz generator"
+        ),
+        "repeats": REPEATS,
+        "timeout": TIMEOUT,
+        "num_instantiations": NUM_INSTANTIATIONS,
+        "python": platform.python_version(),
+        "cases": cases,
+        "summary": {
+            "pairs": len(cases),
+            "equivalent_pairs_decided_symbolically": len(eq_symbolic),
+            "geomean_speedup_all": geomean(speedups),
+            "geomean_speedup_symbolic_eq": geomean(eq_speedups),
+            "all_verdicts_agree":
+                all(case["verdicts_agree"] for case in cases),
+            "all_labels_match": all(case["label_match"] for case in cases),
+            "neq_with_witness": sum(
+                1 for case in cases if "witness_symbolic" in case
+            ),
+        },
+    }
+    assert eq_symbolic, "no equivalent pair was decided symbolically"
+    assert report["summary"]["geomean_speedup_symbolic_eq"] > 1.0, (
+        "symbolic-first did not beat instantiate-only on symbolically "
+        "decided equivalent pairs"
+    )
+    report = with_trajectory(report, OUTPUT)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(
+        f"{len(eq_symbolic)} pair(s) decided symbolically; geomean "
+        f"speedup on those "
+        f"{report['summary']['geomean_speedup_symbolic_eq']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -156,6 +156,16 @@ def analyze_pair(
             reconstruct=config.reconstruct_swaps,
         )
 
+    # The support and fragment passes multiply out gate matrices, which
+    # symbolic parameters cannot do; the remaining passes (gate-set
+    # profile, symbolic phase polynomial, cost model) stay sound for
+    # every valuation, so a symbolic pair skips just the dense passes.
+    from repro.circuit.symbolic import is_symbolic_circuit
+
+    symbolic = is_symbolic_circuit(logical1) or is_symbolic_circuit(
+        logical2
+    )
+
     _check_deadline(deadline)
     with counters.phase("analysis.gateset"):
         profiles = (profile_gate_set(logical1), profile_gate_set(logical2))
@@ -165,14 +175,16 @@ def analyze_pair(
     proof_details: Optional[Dict[str, object]] = None
 
     _check_deadline(deadline)
-    with counters.phase("analysis.support"):
-        support_witness, support_summary = support_check(
-            logical1, logical2, num_qubits
-        )
-        passes_run.append("support")
-    if support_witness is not None:
-        witness = support_witness
-        counters.count("analysis.support_witnesses")
+    support_summary: Dict[str, object] = {"kind": "skipped_symbolic"}
+    if not symbolic:
+        with counters.phase("analysis.support"):
+            support_witness, support_summary = support_check(
+                logical1, logical2, num_qubits
+            )
+            passes_run.append("support")
+        if support_witness is not None:
+            witness = support_witness
+            counters.count("analysis.support_witnesses")
 
     _check_deadline(deadline)
     interaction_summary: Dict[str, object] = {
@@ -181,17 +193,18 @@ def analyze_pair(
             interaction_fingerprint(logical2),
         ]
     }
-    with counters.phase("analysis.interaction"):
-        fragment_witness, fragment_proof, fragment_summary = (
-            fragment_isolation_check(logical1, logical2, num_qubits)
-        )
-        interaction_summary.update(fragment_summary)
-        passes_run.append("interaction")
-    if witness is None and fragment_witness is not None:
-        witness = fragment_witness
-        counters.count("analysis.fragment_witnesses")
-    if fragment_proof is not None:
-        proof_details = {"pass": "interaction", "kind": "fragment_factors"}
+    if not symbolic:
+        with counters.phase("analysis.interaction"):
+            fragment_witness, fragment_proof, fragment_summary = (
+                fragment_isolation_check(logical1, logical2, num_qubits)
+            )
+            interaction_summary.update(fragment_summary)
+            passes_run.append("interaction")
+        if witness is None and fragment_witness is not None:
+            witness = fragment_witness
+            counters.count("analysis.fragment_witnesses")
+        if fragment_proof is not None:
+            proof_details = {"pass": "interaction", "kind": "fragment_factors"}
 
     _check_deadline(deadline)
     phase_summary: Dict[str, object] = {"kind": "not_applicable"}

@@ -43,6 +43,7 @@ from repro.analysis.gateset import (
     is_phase_poly_operation,
 )
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.symbolic import ParamExpr
 
 _TWO_PI = 2.0 * math.pi
 
@@ -80,13 +81,17 @@ class PhasePolynomial:
         phases: Parity mask → accumulated conditional angle (mod 2π is
             **not** applied here; the comparator wraps deltas).  The
             all-zero mask never appears — constant phases are global.
+            With parameterized circuits an angle may be a
+            :class:`~repro.circuit.symbolic.ParamExpr`; the accumulation
+            is exact, so angles that cancel symbolically collapse back
+            to plain floats.
     """
 
     num_qubits: int
     wires: Tuple[Tuple[int, int], ...]
-    phases: Tuple[Tuple[int, float], ...]
+    phases: Tuple[Tuple[int, object], ...]
 
-    def phase_table(self) -> Dict[int, float]:
+    def phase_table(self) -> Dict[int, object]:
         return dict(self.phases)
 
     def to_dict(self) -> Dict[str, object]:
@@ -109,9 +114,9 @@ def extract_phase_polynomial(
     n = circuit.num_qubits
     masks = [1 << i for i in range(n)]
     consts = [0] * n
-    phases: Dict[int, float] = {}
+    phases: Dict[int, object] = {}
 
-    def add_phase(wire: int, angle: float) -> None:
+    def add_phase(wire: int, angle) -> None:
         mask = masks[wire]
         if consts[wire]:
             # θ·[y ⊕ 1] = θ − θ·[y]: drop the global θ, negate the term.
@@ -141,7 +146,9 @@ def extract_phase_polynomial(
     canonical = tuple(
         (mask, angle)
         for mask, angle in sorted(phases.items())
-        if abs(_wrap_angle(angle)) > 0.0
+        # Symbolic angles are kept unconditionally: a ParamExpr only
+        # survives accumulation when a parameter term is left.
+        if isinstance(angle, ParamExpr) or abs(_wrap_angle(angle)) > 0.0
     )
     return PhasePolynomial(
         num_qubits=n,
@@ -206,10 +213,24 @@ def compare_phase_polynomials(
 
     table1, table2 = poly1.phase_table(), poly2.phase_table()
     deltas: List[Tuple[int, float]] = []
+    symbolic_residuals = 0
     for mask in sorted(set(table1) | set(table2)):
-        delta = _wrap_angle(table1.get(mask, 0.0) - table2.get(mask, 0.0))
+        raw = table1.get(mask, 0.0) - table2.get(mask, 0.0)
+        if isinstance(raw, ParamExpr):
+            # A parameter survived the exact subtraction.  The deltas on
+            # dependent parities could still cancel at specific
+            # valuations, so neither verdict is sound here — the
+            # parameterized checker falls through to symbolic ZX /
+            # instantiation instead.
+            symbolic_residuals += 1
+            continue
+        delta = _wrap_angle(raw)
         if abs(delta) > _EQ_TOLERANCE:
             deltas.append((mask, delta))
+    if symbolic_residuals:
+        details["kind"] = "symbolic_residual"
+        details["symbolic_terms"] = symbolic_residuals
+        return None, details
     if not deltas:
         details["kind"] = "identical_phase_polynomial"
         return "equivalent_up_to_global_phase", details

@@ -20,6 +20,14 @@ from repro.circuit.gate import (
 )
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.qasm import QasmError, circuit_from_qasm, circuit_to_qasm
+from repro.circuit.symbolic import (
+    ParamExpr,
+    circuit_parameters,
+    instantiate_circuit,
+    is_symbolic_circuit,
+    is_symbolic_param,
+    symbol,
+)
 from repro.circuit.unitary import (
     operation_unitary,
     circuit_unitary,
@@ -31,9 +39,15 @@ from repro.circuit.unitary import (
 __all__ = [
     "GateDefinition",
     "Operation",
+    "ParamExpr",
     "STANDARD_GATES",
     "QuantumCircuit",
     "QasmError",
+    "circuit_parameters",
+    "instantiate_circuit",
+    "is_symbolic_circuit",
+    "is_symbolic_param",
+    "symbol",
     "base_matrix",
     "gate_definition",
     "circuit_from_qasm",

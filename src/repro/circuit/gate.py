@@ -18,6 +18,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.circuit.symbolic import ParamExpr
+
 # Matrices are built lazily from the parameter tuple.
 MatrixBuilder = Callable[[Tuple[float, ...]], np.ndarray]
 # Maps the parameters of a gate to (inverse_gate_name, inverse_parameters).
@@ -266,6 +268,12 @@ def base_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
             f"gate {name!r} expects {defn.num_params} parameter(s), "
             f"got {len(params)}"
         )
+    if any(isinstance(p, ParamExpr) for p in params):
+        raise TypeError(
+            f"gate {name!r} has symbolic parameters; instantiate the "
+            "circuit (repro.circuit.symbolic.instantiate_circuit) before "
+            "building matrices"
+        )
     return defn.matrix(params)
 
 
@@ -325,7 +333,7 @@ class Operation:
 
     def matrix(self) -> np.ndarray:
         """The base (uncontrolled) unitary of the operation."""
-        return self.definition.matrix(self.params)
+        return base_matrix(self.name, self.params)
 
     def inverse(self) -> "Operation":
         """Return the inverse operation (same controls)."""
@@ -358,6 +366,9 @@ class Operation:
         if self.name in clifford_names:
             return True
         if self.name in ("rz", "rx", "ry", "p"):
+            if not isinstance(self.params[0], (int, float)):
+                # Symbolic angle: Clifford only for special valuations.
+                return False
             angle = self.params[0] % (2 * math.pi)
             return min(
                 abs(angle - k * math.pi / 2) for k in range(5)
@@ -366,6 +377,9 @@ class Operation:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         ctrl = "c" * len(self.controls)
-        args = ", ".join(f"{p:.6g}" for p in self.params)
+        args = ", ".join(
+            str(p) if isinstance(p, ParamExpr) else f"{p:.6g}"
+            for p in self.params
+        )
         head = f"{ctrl}{self.name}" + (f"({args})" if args else "")
         return f"{head} {list(self.controls) + list(self.targets)}"

@@ -12,6 +12,19 @@ Supported statements: ``OPENQASM``, ``include`` (the standard library is
 built in), ``qreg``, ``creg``, ``gate`` definitions, gate applications with
 register broadcasting, ``barrier`` and ``measure`` (both ignored for the
 unitary semantics), and ``//`` comments.
+
+Parameterized circuits use a small dialect extension: a pragma comment
+
+    // repro:params theta phi
+
+declares free parameter names, after which gate arguments may mention
+them in *linear* expressions (``rz((1/2)*theta) q[0];``).  Declared
+programs are evaluated with exact rational arithmetic for integer
+literals so that coefficients survive the round trip unchanged; files
+without the pragma take the plain float path, bit-for-bit identical to
+before.  Nonlinear uses of a parameter (products of two parameters,
+division by a parameter, parameters inside functions or powers) are
+rejected with located caret errors.
 """
 
 from __future__ import annotations
@@ -19,10 +32,12 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Operation
+from repro.circuit.symbolic import ParamExpr, circuit_parameters, symbol
 
 
 class QasmError(ValueError):
@@ -135,12 +150,24 @@ class _Parser:
 
     ``source`` is the original program text; it turns every parse error
     into a located :class:`QasmError` (line, column, offending line).
+
+    With ``symbolic=True`` (set when a ``repro:params`` pragma declared
+    free parameters) integer literals evaluate to exact
+    :class:`~fractions.Fraction` values and expressions may produce
+    :class:`~repro.circuit.symbolic.ParamExpr` results; without it the
+    evaluator is the original all-float one.
     """
 
-    def __init__(self, tokens: List[Token], source: str = "") -> None:
+    def __init__(
+        self,
+        tokens: List[Token],
+        source: str = "",
+        symbolic: bool = False,
+    ) -> None:
         self._tokens = tokens
         self._index = 0
         self._source = source
+        self._symbolic = symbolic
 
     # -- token helpers --------------------------------------------------
     def peek(self) -> Token:
@@ -182,10 +209,12 @@ class _Parser:
         return False
 
     # -- expressions ----------------------------------------------------
-    def parse_expression(self, env: Dict[str, float]) -> float:
+    # In symbolic mode values are Union[float, Fraction, ParamExpr]; the
+    # plain mode only ever sees floats.
+    def parse_expression(self, env: Dict[str, object]) -> object:
         return self._parse_additive(env)
 
-    def _parse_additive(self, env: Dict[str, float]) -> float:
+    def _parse_additive(self, env: Dict[str, object]) -> object:
         value = self._parse_multiplicative(env)
         while self.peek()[1] in ("+", "-"):
             op = self.next()[1]
@@ -193,37 +222,57 @@ class _Parser:
             value = value + rhs if op == "+" else value - rhs
         return value
 
-    def _parse_multiplicative(self, env: Dict[str, float]) -> float:
+    def _parse_multiplicative(self, env: Dict[str, object]) -> object:
         value = self._parse_unary(env)
         while self.peek()[1] in ("*", "/"):
-            op = self.next()[1]
+            op_token = self.next()
             rhs = self._parse_unary(env)
-            value = value * rhs if op == "*" else value / rhs
+            if op_token.text == "*":
+                if isinstance(value, ParamExpr) and isinstance(rhs, ParamExpr):
+                    raise self.error(
+                        "nonlinear parameter expression: cannot multiply "
+                        "two parameter expressions",
+                        op_token,
+                    )
+                value = value * rhs
+            else:
+                if isinstance(rhs, ParamExpr):
+                    raise self.error(
+                        "cannot divide by a parameter expression", op_token
+                    )
+                value = value / rhs
         return value
 
-    def _parse_unary(self, env: Dict[str, float]) -> float:
+    def _parse_unary(self, env: Dict[str, object]) -> object:
         if self.accept("-"):
             return -self._parse_unary(env)
         if self.accept("+"):
             return self._parse_unary(env)
         return self._parse_power(env)
 
-    def _parse_power(self, env: Dict[str, float]) -> float:
+    def _parse_power(self, env: Dict[str, object]) -> object:
         base = self._parse_atom(env)
+        op_token = self.peek()
         if self.accept("^"):
             exponent = self._parse_unary(env)
+            if isinstance(base, ParamExpr) or isinstance(exponent, ParamExpr):
+                raise self.error(
+                    "cannot exponentiate a parameter expression", op_token
+                )
             return base**exponent
         return base
 
-    def _parse_atom(self, env: Dict[str, float]) -> float:
+    def _parse_atom(self, env: Dict[str, object]) -> object:
         token = self.next()
         kind, text = token.kind, token.text
         if text == "(":
             value = self.parse_expression(env)
             self.expect(")")
             return value
-        if kind in ("REAL", "INT"):
+        if kind == "REAL":
             return float(text)
+        if kind == "INT":
+            return Fraction(int(text)) if self._symbolic else float(text)
         if kind == "ID":
             if text == "pi":
                 return math.pi
@@ -231,7 +280,13 @@ class _Parser:
                 self.expect("(")
                 arg = self.parse_expression(env)
                 self.expect(")")
-                return _FUNCTIONS[text](arg)
+                if isinstance(arg, ParamExpr):
+                    raise self.error(
+                        f"cannot apply {text!r} to a parameter expression "
+                        "(only linear expressions are supported)",
+                        token,
+                    )
+                return _FUNCTIONS[text](float(arg))
             if text in env:
                 return env[text]
             raise self.error(
@@ -329,12 +384,40 @@ class _GateMacro:
     body: List[Tuple[str, List[List[Token]], List[str], int]]
 
 
+#: The dialect pragma declaring free parameters: ``// repro:params a b``.
+_PARAMS_PRAGMA_RE = re.compile(r"^[ \t]*//[ \t]*repro:params\b(.*)$", re.MULTILINE)
+
+
+def _scan_params_pragma(text: str) -> Dict[str, ParamExpr]:
+    """Collect declared parameter names (with located errors) from ``text``."""
+    params: Dict[str, ParamExpr] = {}
+    for match in _PARAMS_PRAGMA_RE.finditer(text):
+        rest = match.group(1)
+        base = match.end() - len(rest)
+        for name_match in re.finditer(r"\S+", rest):
+            name = name_match.group()
+            try:
+                params[name] = symbol(name)
+            except ValueError as exc:
+                raise QasmError.at(str(exc), text, base + name_match.start())
+    return params
+
+
+def _finalize_param(value: object) -> object:
+    """Collapse an evaluated expression to ``float`` or ``ParamExpr``."""
+    if isinstance(value, ParamExpr):
+        return value
+    return float(value)
+
+
 class _QasmReader:
     """Parses a full OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
 
     def __init__(self, text: str) -> None:
         self._source = text
-        self._parser = _Parser(_tokenize(text), text)
+        self._params = _scan_params_pragma(text)
+        self._symbolic = bool(self._params)
+        self._parser = _Parser(_tokenize(text), text, symbolic=self._symbolic)
         self._registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
         self._num_qubits = 0
         self._macros: Dict[str, _GateMacro] = {}
@@ -469,12 +552,15 @@ class _QasmReader:
         parser = self._parser
         gate_token = parser.peek()
         gate_name = parser.expect_kind("ID")
-        params: List[float] = []
+        env: Dict[str, object] = dict(self._params)
+        params: List[object] = []
         if parser.accept("("):
             if not parser.accept(")"):
-                params.append(parser.parse_expression({}))
+                params.append(_finalize_param(parser.parse_expression(env)))
                 while parser.accept(","):
-                    params.append(parser.parse_expression({}))
+                    params.append(
+                        _finalize_param(parser.parse_expression(env))
+                    )
                 parser.expect(")")
         arguments: List[List[int]] = [self._parse_argument()]
         while parser.accept(","):
@@ -506,7 +592,7 @@ class _QasmReader:
     def _emit(
         self,
         gate_name: str,
-        params: List[float],
+        params: List[object],
         arguments: List[List[int]],
         pos: int,
     ) -> None:
@@ -522,7 +608,7 @@ class _QasmReader:
     def _emit_single(
         self,
         gate_name: str,
-        params: List[float],
+        params: List[object],
         qubits: List[int],
         pos: int,
     ) -> None:
@@ -568,7 +654,11 @@ class _QasmReader:
         binding = dict(zip(macro.qubits, qubits))
         for inner_name, param_slices, args, inner_pos in macro.body:
             inner_params = [
-                _Parser(tokens, self._source).parse_expression(env)
+                _finalize_param(
+                    _Parser(
+                        tokens, self._source, symbolic=self._symbolic
+                    ).parse_expression(env)
+                )
                 for tokens in param_slices
             ]
             inner_qubits = [binding[a] for a in args]
@@ -604,7 +694,9 @@ _CONTROLLED_NAMES = {
 }
 
 
-def _format_param(value: float) -> str:
+def _format_param(value) -> str:
+    if isinstance(value, ParamExpr):
+        return str(value)
     return repr(float(value))
 
 
@@ -613,12 +705,18 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
 
     Multi-controlled X/Z beyond four controls are emitted with the
     ``mcx_<k>`` convention understood by :func:`circuit_from_qasm`.
+    Symbolic parameters are declared with the ``repro:params`` pragma
+    and rendered canonically, so writer -> parser -> writer is a
+    fixpoint.
     """
     lines = [
         "OPENQASM 2.0;",
         'include "qelib1.inc";',
         f"qreg q[{circuit.num_qubits}];",
     ]
+    parameters = circuit_parameters(circuit)
+    if parameters:
+        lines.append(f"// repro:params {' '.join(parameters)}")
     for op in circuit:
         num_controls = len(op.controls)
         if num_controls == 0:

@@ -113,6 +113,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         array_dd=not args.legacy_dd,
         memory_limit_mb=args.memory_limit,
         max_retries=args.retries,
+        num_instantiations=args.instantiations,
+        parameterized_symbolic=not args.instantiate_only,
         **config_kwargs,
     )
     if args.isolate:
@@ -165,12 +167,57 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     circuit2 = _load_circuit(args.circuit2, args.layout2)
     configuration = Configuration(timeout=args.timeout, seed=args.seed)
+    from repro.circuit.symbolic import (
+        circuit_parameters,
+        instantiate_circuit,
+        is_symbolic_circuit,
+    )
+
+    symbolic_block = None
+    symbolic_neq = False
+    if is_symbolic_circuit(circuit1) or is_symbolic_circuit(circuit2):
+        # The structural passes build dense unitaries, so a symbolic
+        # pair is analyzed at the all-zeros valuation; the symbolic
+        # phase-polynomial comparison (valid for *all* valuations) is
+        # reported alongside.
+        from repro.analysis.phasepoly import phase_polynomial_check
+        from repro.ec.permutations import to_logical_form
+
+        variables = sorted(
+            set(circuit_parameters(circuit1))
+            | set(circuit_parameters(circuit2))
+        )
+        num_qubits = max(circuit1.num_qubits, circuit2.num_qubits)
+        logical1, _ = to_logical_form(
+            circuit1, num_qubits,
+            configuration.elide_permutations, configuration.reconstruct_swaps,
+        )
+        logical2, _ = to_logical_form(
+            circuit2, num_qubits,
+            configuration.elide_permutations, configuration.reconstruct_swaps,
+        )
+        verdict, details = phase_polynomial_check(logical1, logical2)
+        symbolic_neq = verdict == "not_equivalent"
+        symbolic_block = {
+            "variables": variables,
+            "instantiated_at": "all-zeros valuation",
+            "phase_polynomial": {"verdict": verdict, **details},
+        }
+        zeros = {name: 0.0 for name in variables}
+        circuit1 = instantiate_circuit(circuit1, zeros)
+        circuit2 = instantiate_circuit(circuit2, zeros)
     report = analyze_pair(circuit1, circuit2, configuration)
     if args.json:
-        print(json.dumps(report.detail_dict(), indent=2, sort_keys=True))
+        payload = report.detail_dict()
+        if symbolic_block is not None:
+            payload["symbolic"] = symbolic_block
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_report(report))
-    return 1 if report.is_sound_neq else 0
+        if symbolic_block is not None:
+            print("symbolic:")
+            _print_statistics(symbolic_block)
+    return 1 if (report.is_sound_neq or symbolic_neq) else 0
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -379,8 +426,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="combined",
         choices=(
             "construction", "alternating", "simulation", "zx", "combined",
-            "stabilizer", "state", "analysis",
+            "stabilizer", "state", "analysis", "parameterized",
         ),
+    )
+    verify.add_argument(
+        "--instantiations", type=int, default=8, metavar="N",
+        help="seeded random valuations for the parameterized strategy's "
+        "instantiation fallback",
+    )
+    verify.add_argument(
+        "--instantiate-only", action="store_true",
+        help="skip the symbolic phase-polynomial/ZX paths of the "
+        "parameterized strategy (instantiate-only baseline)",
     )
     verify.add_argument(
         "--portfolio", action="store_true",
@@ -523,7 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--family", default="clifford_t",
-        choices=("clifford", "clifford_t", "rotations", "ancilla"),
+        choices=(
+            "clifford", "clifford_t", "rotations", "ancilla",
+            "parameterized",
+        ),
     )
     fuzz.add_argument(
         "--qubits", type=int, default=None,

@@ -99,6 +99,18 @@ class Configuration:
             winner; a lane that finishes undecided promotes the next
             pending launch immediately, so the head start never idles
             the machine.
+        num_instantiations: Seeded random valuations drawn by the
+            ``parameterized`` strategy's instantiation fallback when the
+            symbolic paths stay undecided (mqt-qcec defaults to a
+            comparable small count; every instantiation dispatches one
+            full concrete check).
+        parameterized_symbolic: Try the symbolic phase-polynomial and
+            symbolic ZX paths before instantiating (default).  ``False``
+            measures the instantiate-only baseline.
+        instantiation_isolation: Run each instantiated concrete check in
+            a sandboxed child process instead of in-process.  Off by
+            default — instantiated ansatz pairs are small and fork
+            overhead would dominate.
     """
 
     strategy: str = "combined"
@@ -123,6 +135,9 @@ class Configuration:
     retry_backoff: float = 0.1
     portfolio: bool = False
     portfolio_head_start: float = 0.25
+    num_instantiations: int = 8
+    parameterized_symbolic: bool = True
+    instantiation_isolation: bool = False
 
     @staticmethod
     def _require_positive_number(name: str, value: object) -> None:
@@ -141,7 +156,7 @@ class Configuration:
         """Raise ``ValueError`` on inconsistent settings."""
         strategies = {
             "construction", "alternating", "simulation", "zx", "combined",
-            "stabilizer", "state", "analysis",
+            "stabilizer", "state", "analysis", "parameterized",
         }
         if self.strategy not in strategies:
             raise ValueError(f"unknown strategy {self.strategy!r}")
@@ -208,4 +223,26 @@ class Configuration:
             raise ValueError(
                 "portfolio_head_start must be non-negative, got "
                 f"{self.portfolio_head_start!r}"
+            )
+        if isinstance(self.num_instantiations, bool) or not isinstance(
+            self.num_instantiations, int
+        ):
+            raise ValueError(
+                "num_instantiations must be an integer, got "
+                f"{self.num_instantiations!r}"
+            )
+        if self.num_instantiations < 1:
+            raise ValueError(
+                "num_instantiations must be at least 1, got "
+                f"{self.num_instantiations!r}"
+            )
+        if not isinstance(self.parameterized_symbolic, bool):
+            raise ValueError(
+                "parameterized_symbolic must be a bool, got "
+                f"{self.parameterized_symbolic!r}"
+            )
+        if not isinstance(self.instantiation_isolation, bool):
+            raise ValueError(
+                "instantiation_isolation must be a bool, got "
+                f"{self.instantiation_isolation!r}"
             )

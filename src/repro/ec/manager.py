@@ -137,6 +137,33 @@ class EquivalenceCheckingManager:
         from repro.harness import chaos
 
         chaos.maybe_trigger()
+        from repro.circuit.symbolic import is_symbolic_circuit
+
+        symbolic = is_symbolic_circuit(self.circuit1) or is_symbolic_circuit(
+            self.circuit2
+        )
+        if config.strategy == "parameterized":
+            if symbolic:
+                # The parameterized checker owns its whole ladder
+                # (symbolic phase polynomial, symbolic ZX, seeded
+                # instantiation); the concrete static pre-pass below
+                # cannot run on symbolic circuits, so dispatch directly.
+                from repro.ec.param_checker import parameterized_check
+
+                return parameterized_check(
+                    self.circuit1, self.circuit2, config, deadline
+                )
+            # A concrete pair under the parameterized strategy is just a
+            # concrete check: fall through to the combined machinery.
+            config = dataclasses.replace(config, strategy="combined")
+        elif symbolic:
+            from repro.errors import InvalidInput
+
+            raise InvalidInput(
+                "circuits carry symbolic parameters; only "
+                "strategy='parameterized' can check them "
+                f"(got strategy={config.strategy!r})"
+            )
         if config.strategy == "analysis":
             # The standalone static-analysis strategy (also the fuzz
             # oracle's analyzer participant).  Imported lazily like the

@@ -10,7 +10,11 @@ A *family* fixes the gate alphabet and size range of the base circuits:
   compiled-circuit use-case; stresses numerical tolerances),
 * ``ancilla`` — mid-range widths where extra measurement-free ancilla
   wires are touched through compute/uncompute sandwiches (the shape
-  routing and synthesis flows emit).
+  routing and synthesis flows emit),
+* ``parameterized`` — ansatz templates whose rotation angles are
+  symbolic :class:`~repro.circuit.symbolic.ParamExpr` over a few shared
+  free parameters (the variational use-case; exercises the
+  ``parameterized`` strategy and its symbolic mutators).
 
 An *instance* couples a base circuit with a deterministic pair recipe:
 one of the metamorphic mutators of :mod:`repro.fuzz.mutators`, or a
@@ -24,23 +28,31 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.fuzz.mutators import (
     LABEL_EQUIVALENT,
     MUTATORS,
+    SYMBOLIC_MUTATORS,
     MutationNotApplicable,
 )
 
-#: The supported circuit families.
-FAMILIES = ("clifford", "clifford_t", "rotations", "ancilla")
+#: The supported circuit families.  ``parameterized`` must stay last:
+#: the instance RNG mixes ``FAMILIES.index(family)`` into its seed, so
+#: reordering would silently re-roll every pinned campaign.
+FAMILIES = ("clifford", "clifford_t", "rotations", "ancilla", "parameterized")
 
 #: Pair recipes on top of the metamorphic mutators.
 _COMPILE_RECIPES = ("compiled", "optimized")
 
-#: All pair recipes, in the order the generator draws from.
+#: All pair recipes over *concrete* circuits, in draw order.
 RECIPES: Tuple[str, ...] = tuple(MUTATORS) + _COMPILE_RECIPES
+
+#: Pair recipes for the ``parameterized`` family (symbolic mutators
+#: only — the concrete recipes lean on numeric unitaries).
+PARAMETERIZED_RECIPES: Tuple[str, ...] = tuple(SYMBOLIC_MUTATORS)
 
 
 @dataclass(frozen=True)
@@ -81,6 +93,14 @@ FAMILY_SPECS: Dict[str, FamilySpec] = {
         max_gates=24,
         ancillae=(1, 2),
     ),
+    "parameterized": FamilySpec(
+        "parameterized",
+        ("rz", "ry", "rx", "p", "cx", "cz"),
+        min_qubits=2,
+        max_qubits=5,
+        min_gates=8,
+        max_gates=20,
+    ),
 }
 
 #: Gates that take one rotation angle.
@@ -91,6 +111,76 @@ def _random_angle(rng: random.Random) -> float:
     """A rotation angle bounded away from 0 (mod 2π) so no gate is an
     accidental identity — which keeps the gate-deletion label sound."""
     return rng.uniform(0.1, 2 * math.pi - 0.1)
+
+
+#: Rational coefficients the ansatz generator attaches to its symbols —
+#: kept to small denominators so exact cancellation in the symbolic
+#: phase-polynomial / ZX paths is actually exercised.
+_SYM_COEFFICIENTS = (
+    Fraction(1),
+    Fraction(-1),
+    Fraction(1, 2),
+    Fraction(-1, 2),
+    Fraction(3, 2),
+    Fraction(2),
+    Fraction(1, 4),
+)
+
+
+def _random_symbolic_angle(rng: random.Random, symbols: Sequence[str]):
+    """``c * theta_j``, occasionally with a dyadic-π constant offset."""
+    from repro.circuit.symbolic import symbol
+
+    expr = rng.choice(_SYM_COEFFICIENTS) * symbol(rng.choice(list(symbols)))
+    if rng.random() < 0.25:
+        expr = expr + rng.choice((1, 3, 5, 7)) * math.pi / 4
+    return expr
+
+
+def _random_ansatz(
+    rng: random.Random, data: int, gates: int
+) -> QuantumCircuit:
+    """A hardware-efficient-style ansatz with shared free parameters.
+
+    Alternates single-qubit rotation layers (angles are mostly
+    :class:`~repro.circuit.symbolic.ParamExpr` over 1–3 shared symbols,
+    mixed with a few concrete angles) with CX/CZ entangling ladders —
+    the shape variational workloads hand to an equivalence checker.
+    """
+    from repro.circuit.symbolic import symbol
+
+    symbols = [f"theta_{j}" for j in range(rng.randint(1, 3))]
+    circuit = QuantumCircuit(data, name="fuzz_parameterized")
+    wires = list(range(data))
+    emitted = 0
+    while emitted < gates:
+        for q in wires:
+            if emitted >= gates:
+                break
+            name = rng.choice(("rz", "ry", "rx", "p"))
+            if rng.random() < 0.8:
+                angle = _random_symbolic_angle(rng, symbols)
+            else:
+                angle = _random_angle(rng)
+            circuit.add(name, [q], params=[angle])
+            emitted += 1
+        if data >= 2:
+            for a, b in zip(wires[:-1], wires[1:]):
+                if emitted >= gates:
+                    break
+                if rng.random() < 0.7:
+                    if rng.random() < 0.5:
+                        circuit.cx(a, b)
+                    else:
+                        circuit.cz(a, b)
+                    emitted += 1
+    from repro.circuit.symbolic import is_symbolic_circuit
+
+    if not is_symbolic_circuit(circuit):
+        # Degenerate draw (every angle came out concrete): force one
+        # symbolic rotation so the symbolic mutators always apply.
+        circuit.add("rz", [0], params=[symbol(symbols[0])])
+    return circuit
 
 
 def _emit_gate(
@@ -133,6 +223,8 @@ def random_family_circuit(
         if num_gates is not None
         else rng.randint(spec.min_gates, spec.max_gates)
     )
+    if family == "parameterized":
+        return _random_ansatz(rng, data, gates)
     total = data + ancillae
     circuit = QuantumCircuit(total, name=f"fuzz_{family}")
     data_wires = list(range(data))
@@ -211,6 +303,9 @@ def build_pair(
     rng = random.Random(recipe_seed)
     if recipe in MUTATORS:
         mutant, label, witness = MUTATORS[recipe](base, rng)
+        return LabeledPair(base.copy(), mutant, label, recipe, witness)
+    if recipe in SYMBOLIC_MUTATORS:
+        mutant, label, witness = SYMBOLIC_MUTATORS[recipe](base, rng)
         return LabeledPair(base.copy(), mutant, label, recipe, witness)
     if recipe == "compiled":
         from repro.compile import compile_circuit, line_architecture
@@ -292,9 +387,12 @@ def generate_instance(
     flip on a CNOT-free circuit) are redrawn a bounded number of times;
     the inverse-pair mutator always applies, so the loop terminates.
     """
-    allowed = tuple(recipes) if recipes else RECIPES
+    default = (
+        PARAMETERIZED_RECIPES if family == "parameterized" else RECIPES
+    )
+    allowed = tuple(recipes) if recipes else default
     for name in allowed:
-        if name not in RECIPES:
+        if name not in RECIPES and name not in PARAMETERIZED_RECIPES:
             raise ValueError(f"unknown pair recipe {name!r}")
     rng = _instance_rng(family, seed)
     base = random_family_circuit(family, rng, num_qubits, num_gates)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import random
+from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -343,3 +344,174 @@ BREAKING_MUTATORS: Dict[str, Mutator] = {
 }
 
 MUTATORS: Dict[str, Mutator] = {**PRESERVING_MUTATORS, **BREAKING_MUTATORS}
+
+
+# ---------------------------------------------------------------------------
+# symbolic mutators (parameterized circuits)
+# ---------------------------------------------------------------------------
+# The concrete mutators above lean on numeric unitaries (commutation
+# checks, identity tests), which symbolic parameters cannot provide.
+# The symbolic set below restricts itself to *syntactically certain*
+# arguments — qubit-disjointness, Z-diagonality, exact half-angle
+# splits, and local phase offsets that are provably non-scalar at a
+# recorded witness valuation — so every label stays correct by
+# construction for the whole parameter space.
+
+#: Gates that are diagonal in the computational basis for any controls
+#: and any (symbolic) parameters — all such gates commute pairwise.
+_Z_DIAGONAL = frozenset({"z", "s", "sdg", "t", "tdg", "rz", "p", "rzz"})
+
+#: Gates eligible for symbolic angle surgery (single target, 1 param).
+_SYM_ROTATIONS = ("rz", "ry", "rx", "p")
+
+
+def _sym_ops_commute(a: Operation, b: Operation) -> bool:
+    """Commutation certain without building unitaries."""
+    if not (set(a.qubits) & set(b.qubits)):
+        return True
+    return a.name in _Z_DIAGONAL and b.name in _Z_DIAGONAL
+
+
+def sym_commute(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Swap an adjacent pair that provably commutes (no unitary math)."""
+    ops = list(circuit)
+    candidates = [
+        i for i in range(len(ops) - 1) if _sym_ops_commute(ops[i], ops[i + 1])
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no certainly-commuting adjacent pair")
+    index = rng.choice(candidates)
+    ops[index], ops[index + 1] = ops[index + 1], ops[index]
+    witness = {"kind": "commuted_pair", "index": index}
+    return _rebuilt(circuit, ops, "sym_commuted"), LABEL_EQUIVALENT, witness
+
+
+def sym_split_rotation(
+    circuit: QuantumCircuit, rng: random.Random
+) -> Mutation:
+    """Replace one rotation ``r(e)`` by ``r(e/2) · r(e/2)`` (exact)."""
+    ops = list(circuit)
+    candidates = [
+        i
+        for i, op in enumerate(ops)
+        if op.name in _SYM_ROTATIONS and not op.controls
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no splittable rotation")
+    index = rng.choice(candidates)
+    op = ops[index]
+    half = Operation(op.name, op.targets, op.controls, (op.params[0] / 2,))
+    ops[index:index + 1] = [half, half]
+    witness = {"kind": "split_rotation", "index": index, "gate": str(op)}
+    return _rebuilt(circuit, ops, "sym_split"), LABEL_EQUIVALENT, witness
+
+
+def _all_zero_valuation(circuit: QuantumCircuit) -> Dict[str, float]:
+    from repro.circuit.symbolic import circuit_parameters
+
+    return {name: 0.0 for name in circuit_parameters(circuit)}
+
+
+def sym_coefficient_nudge(
+    circuit: QuantumCircuit, rng: random.Random
+) -> Mutation:
+    """Add ``Δc · v`` to one symbolic rotation angle.
+
+    With ``g' = g · r(Δc·v)`` on the same rotation axis, the mutant
+    equals ``A·g'·B`` and is equivalent to ``A·g·B`` iff ``r(Δc·v)`` is
+    scalar.  At the recorded witness valuation (``v = π/Δc``, all other
+    parameters 0) the offset is exactly π, and ``rz/rx/ry/p`` of π are
+    never scalar — a sound non-equivalence with an explicit valuation.
+    Note the circuits *agree* at the all-zeros valuation, so this plants
+    exactly the error class only parameterized checking can discuss.
+    """
+    from repro.circuit.symbolic import ParamExpr, symbol
+
+    ops = list(circuit)
+    candidates = [
+        i
+        for i, op in enumerate(ops)
+        if op.name in _SYM_ROTATIONS
+        and not op.controls
+        and isinstance(op.params[0], ParamExpr)
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no symbolic rotation to nudge")
+    index = rng.choice(candidates)
+    op = ops[index]
+    expr = op.params[0]
+    variable = rng.choice(expr.variables)
+    delta_coeff = rng.choice(
+        (Fraction(1), Fraction(-1), Fraction(1, 2), Fraction(-1, 2),
+         Fraction(3, 2), Fraction(1, 4))
+    )
+    nudged = expr + delta_coeff * symbol(variable)
+    ops[index] = Operation(op.name, op.targets, op.controls, (nudged,))
+    valuation = _all_zero_valuation(circuit)
+    valuation[variable] = math.pi / float(delta_coeff)
+    witness = {
+        "kind": "coefficient_nudged",
+        "index": index,
+        "gate": str(op),
+        "variable": variable,
+        "delta_coefficient": str(delta_coeff),
+        "valuation": valuation,
+    }
+    return (
+        _rebuilt(circuit, ops, "sym_coeff_nudge"),
+        LABEL_NOT_EQUIVALENT,
+        witness,
+    )
+
+
+def sym_const_nudge(circuit: QuantumCircuit, rng: random.Random) -> Mutation:
+    """Add a small constant offset to one rotation angle.
+
+    The local change is ``r(δ)`` with ``δ ∈ ±[0.05, 0.45]`` rad — never
+    scalar, and independent of the parameter valuation, so *every*
+    valuation witnesses the non-equivalence (all-zeros is recorded).
+    """
+    delta = rng.uniform(0.05, 0.45) * rng.choice((-1.0, 1.0))
+    ops = list(circuit)
+    candidates = [
+        i
+        for i, op in enumerate(ops)
+        if op.name in _SYM_ROTATIONS and not op.controls
+    ]
+    if not candidates:
+        raise MutationNotApplicable("no rotation to offset")
+    index = rng.choice(candidates)
+    op = ops[index]
+    ops[index] = Operation(
+        op.name, op.targets, op.controls, (op.params[0] + delta,)
+    )
+    witness = {
+        "kind": "const_nudged",
+        "index": index,
+        "gate": str(op),
+        "delta": delta,
+        "valuation": _all_zero_valuation(circuit),
+    }
+    return (
+        _rebuilt(circuit, ops, "sym_const_nudge"),
+        LABEL_NOT_EQUIVALENT,
+        witness,
+    )
+
+
+SYMBOLIC_PRESERVING_MUTATORS: Dict[str, Mutator] = {
+    "sym_commute": sym_commute,
+    "sym_insert_inverse_pair": insert_inverse_pair,
+    "sym_swap_relabel": swap_relabel,
+    "sym_split_rotation": sym_split_rotation,
+}
+
+SYMBOLIC_BREAKING_MUTATORS: Dict[str, Mutator] = {
+    "sym_coefficient_nudge": sym_coefficient_nudge,
+    "sym_const_nudge": sym_const_nudge,
+}
+
+SYMBOLIC_MUTATORS: Dict[str, Mutator] = {
+    **SYMBOLIC_PRESERVING_MUTATORS,
+    **SYMBOLIC_BREAKING_MUTATORS,
+}

@@ -4,8 +4,10 @@ One labeled pair is pushed through every applicable strategy — the two
 DD schemes (alternating, reference construction), both ZX simplification
 engines (incremental worklist and legacy rescan), the stabilizer tableau
 when the pair is Clifford, and the random-stimuli simulation — plus the
-dense-unitary ground truth for widths up to ``dense_limit``.  The oracle
-then classifies the verdict matrix:
+dense-unitary ground truth for widths up to ``dense_limit``.  Symbolic
+pairs (the ``parameterized`` family) swap the whole concrete matrix for
+the two ``parameterized``-strategy modes and a valuation-sampled ground
+truth.  The oracle then classifies the verdict matrix:
 
 * a *proven* positive (``EQUIVALENT`` / up-to-global-phase) next to a
   ``NOT_EQUIVALENT`` from another checker is always a disagreement —
@@ -65,6 +67,30 @@ STRATEGY_MATRIX: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("stabilizer", {"strategy": "stabilizer", "static_analysis": False}),
     ("simulation", {"strategy": "simulation", "static_analysis": False}),
     ("static_analysis", {"strategy": "analysis"}),
+)
+
+#: The matrix for *symbolic* pairs: every concrete participant above
+#: would refuse symbolic parameters (``InvalidInput``), so the oracle
+#: differentials the two ``parameterized`` modes against each other and
+#: against the valuation-sampled dense ground truth — symbolic-first
+#: versus instantiate-only, mirroring the BENCH_parameterized split.
+PARAMETERIZED_MATRIX: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    (
+        "param_symbolic",
+        {
+            "strategy": "parameterized",
+            "parameterized_symbolic": True,
+            "static_analysis": False,
+        },
+    ),
+    (
+        "param_instantiate",
+        {
+            "strategy": "parameterized",
+            "parameterized_symbolic": False,
+            "static_analysis": False,
+        },
+    ),
 )
 
 #: The optional eighth participant: the concurrent strategy portfolio.
@@ -183,17 +209,14 @@ class DifferentialOracle:
         )
         return manager.run_single(str(overrides["strategy"]))
 
-    def _dense_truth(self, pair: LabeledPair) -> Optional[str]:
-        """Ground-truth verdict from explicit unitaries, or None if too wide."""
-        n = pair.num_qubits
-        if n > self.dense_limit:
-            return None
+    def _dense_verdict(self, circuit1, circuit2, n: int) -> str:
+        """Dense-unitary comparison of two *concrete* circuits."""
         config = self.configuration
         logical1, _ = to_logical_form(
-            pair.circuit1, n, config.elide_permutations, config.reconstruct_swaps
+            circuit1, n, config.elide_permutations, config.reconstruct_swaps
         )
         logical2, _ = to_logical_form(
-            pair.circuit2, n, config.elide_permutations, config.reconstruct_swaps
+            circuit2, n, config.elide_permutations, config.reconstruct_swaps
         )
         u1 = circuit_unitary(logical1)
         u2 = circuit_unitary(logical2)
@@ -203,14 +226,89 @@ class DifferentialOracle:
             return Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE.value
         return Equivalence.NOT_EQUIVALENT.value
 
+    def _dense_truth(self, pair: LabeledPair) -> Optional[str]:
+        """Ground-truth verdict from explicit unitaries, or None if too wide."""
+        n = pair.num_qubits
+        if n > self.dense_limit:
+            return None
+        from repro.circuit.symbolic import is_symbolic_circuit
+
+        if is_symbolic_circuit(pair.circuit1) or is_symbolic_circuit(
+            pair.circuit2
+        ):
+            return self._dense_truth_symbolic(pair, n)
+        return self._dense_verdict(pair.circuit1, pair.circuit2, n)
+
+    def _dense_truth_symbolic(
+        self, pair: LabeledPair, n: int
+    ) -> Optional[str]:
+        """Valuation-sampled ground truth for a symbolic pair.
+
+        The planted witness valuation (when the mutator recorded one) is
+        checked *first* — a breaking mutator's defect can be invisible at
+        random valuations (e.g. a coefficient nudge vanishes wherever the
+        nudged parameter is 0), so the witness must anchor the sample.
+        ``NOT_EQUIVALENT`` at any valuation decides the pair; agreement
+        everywhere is reported as the strongest verdict seen.
+        """
+        from repro.circuit.symbolic import (
+            circuit_parameters,
+            instantiate_circuit,
+        )
+        from repro.ec.param_checker import draw_valuations
+
+        variables = tuple(
+            sorted(
+                set(circuit_parameters(pair.circuit1))
+                | set(circuit_parameters(pair.circuit2))
+            )
+        )
+        valuations: List[Dict[str, float]] = []
+        witness = pair.witness.get("valuation")
+        if isinstance(witness, dict):
+            valuations.append(
+                {name: float(witness.get(name, 0.0)) for name in variables}
+            )
+        valuations.extend(
+            draw_valuations(variables, 8, self.configuration.seed)
+        )
+        exact = True
+        for valuation in valuations:
+            verdict = self._dense_verdict(
+                instantiate_circuit(pair.circuit1, valuation),
+                instantiate_circuit(pair.circuit2, valuation),
+                n,
+            )
+            if verdict == Equivalence.NOT_EQUIVALENT.value:
+                return verdict
+            if verdict != Equivalence.EQUIVALENT.value:
+                exact = False
+        if exact:
+            return Equivalence.EQUIVALENT.value
+        return Equivalence.EQUIVALENT_UP_TO_GLOBAL_PHASE.value
+
     # ------------------------------------------------------------------
     def check(self, pair: LabeledPair) -> OracleReport:
         """Run the full matrix on one pair and classify the verdicts."""
         report = OracleReport(label=pair.label)
-        clifford = _is_clifford_pair(pair)
-        matrix = STRATEGY_MATRIX
-        if self.portfolio:
-            matrix = matrix + (PORTFOLIO_PARTICIPANT,)
+        from repro.circuit.symbolic import is_symbolic_circuit
+
+        symbolic = is_symbolic_circuit(pair.circuit1) or is_symbolic_circuit(
+            pair.circuit2
+        )
+        if symbolic:
+            # Concrete checkers refuse symbolic parameters outright;
+            # record the skips so campaign journals stay self-describing.
+            matrix = PARAMETERIZED_MATRIX
+            for name, _ in STRATEGY_MATRIX:
+                report.skipped[name] = "symbolic pair"
+            if self.portfolio:
+                report.skipped[PORTFOLIO_PARTICIPANT[0]] = "symbolic pair"
+        else:
+            matrix = STRATEGY_MATRIX
+            if self.portfolio:
+                matrix = matrix + (PORTFOLIO_PARTICIPANT,)
+        clifford = not symbolic and _is_clifford_pair(pair)
         for name, overrides in matrix:
             if name == "stabilizer" and not clifford:
                 report.skipped[name] = "non-Clifford pair"

@@ -14,8 +14,10 @@ Exit-code contract (also honoured by ``make fuzz``):
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.ec.configuration import Configuration
@@ -90,6 +92,7 @@ class FuzzOutcome:
     stopped_early: bool = False
     seconds: float = 0.0
     leaked_children: int = 0
+    witnesses_persisted: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -108,6 +111,7 @@ class FuzzOutcome:
             "stopped_early": self.stopped_early,
             "seconds": round(self.seconds, 3),
             "leaked_children": self.leaked_children,
+            "witnesses_persisted": self.witnesses_persisted,
         }
 
 
@@ -141,6 +145,50 @@ def run_fuzz(
     # KeyboardInterrupt (Ctrl-C mid-shrink, the common way to stop
     # ``fuzz --isolate``) must close the handle instead of leaking it.
     journal = None
+    # Witness log for parameterized campaigns: every planted-NEQ pair
+    # records its witness valuation (planted and checker-found), so a
+    # campaign leaves an auditable trail of the defects it covered.
+    witness_log = None
+
+    def persist_witness(
+        index: int, pair, report: OracleReport
+    ) -> None:
+        nonlocal witness_log
+        planted = pair.witness.get("valuation")
+        if pair.label != "not_equivalent" or not isinstance(planted, dict):
+            return
+        found = None
+        for name, result in report.results.items():
+            block = result.statistics.get("parameterized")
+            if isinstance(block, dict) and "witness_valuation" in block:
+                found = {
+                    "checker": name,
+                    "path": block.get("path"),
+                    "valuation": block["witness_valuation"],
+                }
+                break
+        if witness_log is None:
+            corpus = Path(settings.corpus_dir)
+            corpus.mkdir(parents=True, exist_ok=True)
+            witness_log = (corpus / "witnesses.jsonl").open(
+                "a", encoding="utf-8"
+            )
+        record = {
+            "index": index,
+            "family": settings.family,
+            "recipe": pair.recipe,
+            "witness": {
+                key: value
+                for key, value in pair.witness.items()
+                if key != "valuation"
+            },
+            "planted_valuation": planted,
+            "found": found,
+            "truth": report.truth,
+        }
+        witness_log.write(json.dumps(record, sort_keys=True) + "\n")
+        witness_log.flush()
+        outcome.witnesses_persisted += 1
 
     def reproduces(candidate: FuzzInstance) -> bool:
         try:
@@ -180,6 +228,7 @@ def run_fuzz(
             outcome.label_counts[pair.label] = (
                 outcome.label_counts.get(pair.label, 0) + 1
             )
+            persist_witness(index, pair, report)
             if report.missed_by_simulation:
                 outcome.missed_by_simulation += 1
             if report.agreed:
@@ -228,6 +277,8 @@ def run_fuzz(
     finally:
         if journal is not None:
             journal.close()
+        if witness_log is not None:
+            witness_log.close()
 
     # Leak audit: every race/sandbox child must be SIGKILLed and reaped
     # by the time its check returns, so a campaign that leaves live

@@ -45,7 +45,7 @@ from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.zx.diagram import EdgeType, VertexType, ZXDiagram
-from repro.zx.phase import negate_phase
+from repro.zx.phase import SymbolicPhase, negate_phase
 
 _ZERO = Fraction(0)
 _HALF = Fraction(1, 2)
@@ -821,6 +821,11 @@ def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
             (left_prev, left_anchor), (right_prev, right_anchor) = ends
             if left_anchor == right_anchor or left_anchor in chain or right_anchor in chain:
                 continue  # loop or degenerate
+            if any(
+                isinstance(diagram.phase(v), SymbolicPhase) for v in chain
+            ):
+                continue  # symbolic phases cannot be multiplied out
+
             if diagram.connected(left_anchor, right_anchor):
                 continue  # would need parallel-edge resolution; skip
             # multiply the chain out, walking from left anchor to right

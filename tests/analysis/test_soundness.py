@@ -1,7 +1,8 @@
 """Analyzer soundness against dense ground truth, across fuzz families.
 
-The acceptance property: on every generated pair (all four families,
-widths ≤ 8), a static verdict must never contradict the dense-unitary
+The acceptance property: on every generated pair (all five families,
+widths ≤ 8; symbolic pairs sampled at the planted witness plus seeded
+valuations), a static verdict must never contradict the dense-unitary
 ground truth — no NEQ witness on an equivalent pair, no equivalence
 proof on a non-equivalent pair — and equivalent-*labeled* mutator pairs
 must never be flagged even when the dense truth is skipped.
@@ -11,8 +12,14 @@ import numpy as np
 import pytest
 
 from repro.analysis import analyze_pair
+from repro.circuit.symbolic import (
+    circuit_parameters,
+    instantiate_circuit,
+    is_symbolic_circuit,
+)
 from repro.circuit.unitary import circuit_unitary, hilbert_schmidt_fidelity
 from repro.ec.configuration import Configuration
+from repro.ec.param_checker import draw_valuations
 from repro.ec.permutations import to_logical_form
 from repro.fuzz.generator import FAMILIES, generate_instance
 from repro.fuzz.mutators import LABEL_EQUIVALENT
@@ -21,14 +28,39 @@ _PAIRS_PER_FAMILY = 30
 _DENSE_LIMIT = 8
 
 
+def _unitaries_match(logical1, logical2) -> bool:
+    u1 = circuit_unitary(logical1)
+    u2 = circuit_unitary(logical2)
+    return abs(hilbert_schmidt_fidelity(u1, u2) - 1.0) < 1e-8
+
+
 def _dense_verdict(pair) -> str:
     n = pair.num_qubits
     config = Configuration()
     logical1, _ = to_logical_form(pair.circuit1, n)
     logical2, _ = to_logical_form(pair.circuit2, n)
-    u1 = circuit_unitary(logical1)
-    u2 = circuit_unitary(logical2)
-    if abs(hilbert_schmidt_fidelity(u1, u2) - 1.0) < 1e-8:
+    if is_symbolic_circuit(logical1) or is_symbolic_circuit(logical2):
+        # Symbolic pair: ground truth is sampled — the planted witness
+        # valuation first (the one place a breaking mutator must show),
+        # then seeded draws.  NEQ at any valuation decides.
+        variables = sorted(
+            set(circuit_parameters(logical1))
+            | set(circuit_parameters(logical2))
+        )
+        valuations = []
+        planted = (pair.witness or {}).get("valuation")
+        if isinstance(planted, dict):
+            valuations.append(
+                {v: float(planted.get(v, 0.0)) for v in variables}
+            )
+        valuations.extend(draw_valuations(tuple(variables), 8, 1234))
+        for valuation in valuations:
+            inst1 = instantiate_circuit(logical1, valuation)
+            inst2 = instantiate_circuit(logical2, valuation)
+            if not _unitaries_match(inst1, inst2):
+                return "not_equivalent"
+        return "equivalent"
+    if _unitaries_match(logical1, logical2):
         return "equivalent"
     return "not_equivalent"
 

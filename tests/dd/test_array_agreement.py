@@ -8,11 +8,17 @@ and every checker strategy must return the same verdict whichever engine
 agreement sweep (`tests/zx/test_incremental.py`) for the DD substrate.
 """
 
+import math
 import random
 
 import pytest
 
 from repro.bench.errors import flip_random_cnot, remove_random_gate
+from repro.circuit.symbolic import (
+    circuit_parameters,
+    instantiate_circuit,
+    is_symbolic_circuit,
+)
 from repro.dd import (
     ArrayDDPackage,
     ComplexTable,
@@ -32,9 +38,18 @@ _STRATEGIES = ("construction", "alternating", "simulation", "combined")
 
 def _family_circuit(family, seed, num_qubits=4, num_gates=24):
     rng = random.Random(seed)
-    return random_family_circuit(
+    circuit = random_family_circuit(
         family, rng, num_qubits=num_qubits, num_gates=num_gates
     )
+    if is_symbolic_circuit(circuit):
+        # DDs build dense gate matrices, so the parameterized family is
+        # swept at a seeded concrete valuation.
+        valuation = {
+            name: rng.uniform(-math.pi, math.pi)
+            for name in circuit_parameters(circuit)
+        }
+        circuit = instantiate_circuit(circuit, valuation)
+    return circuit
 
 
 def _variant(circuit, kind, seed):

@@ -1,0 +1,120 @@
+"""The ``parameterized`` fuzz family end to end.
+
+Covers the generator (ansatz templates stay symbolic and deterministic),
+the oracle's symbolic matrix (concrete checkers are skipped, the two
+``parameterized`` modes are differentialed against valuation-sampled
+dense truth) and the runner's witness journal.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.circuit.symbolic import is_symbolic_circuit
+from repro.fuzz.generator import (
+    FAMILIES,
+    PARAMETERIZED_RECIPES,
+    RECIPES,
+    generate_instance,
+    random_family_circuit,
+)
+from repro.fuzz.mutators import SYMBOLIC_MUTATORS
+from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.runner import FuzzSettings, run_fuzz
+
+
+class TestParameterizedGenerator:
+    def test_family_registered_last(self):
+        # The instance RNG mixes FAMILIES.index into its seed, so the
+        # new family must not displace the existing indices.
+        assert FAMILIES[-1] == "parameterized"
+        assert FAMILIES[:4] == ("clifford", "clifford_t", "rotations", "ancilla")
+
+    def test_recipe_pools_are_disjoint(self):
+        assert set(PARAMETERIZED_RECIPES) == set(SYMBOLIC_MUTATORS)
+        assert not set(PARAMETERIZED_RECIPES) & set(RECIPES)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_base_circuits_are_symbolic(self, seed):
+        circuit = random_family_circuit("parameterized", random.Random(seed))
+        assert is_symbolic_circuit(circuit)
+        assert 2 <= circuit.num_qubits <= 5
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_instances_deterministic_and_symbolic(self, seed):
+        instance1, pair1 = generate_instance(seed, family="parameterized")
+        instance2, pair2 = generate_instance(seed, family="parameterized")
+        assert instance1.recipe == instance2.recipe
+        assert str(pair1.circuit2) == str(pair2.circuit2)
+        assert pair1.recipe in PARAMETERIZED_RECIPES
+        assert is_symbolic_circuit(pair1.circuit1)
+        if pair1.label == "not_equivalent":
+            assert isinstance(pair1.witness.get("valuation"), dict)
+
+    def test_concrete_family_draws_unchanged_recipes(self):
+        _, pair = generate_instance(0, family="clifford_t")
+        assert pair.recipe in RECIPES
+
+    def test_symbolic_recipe_on_concrete_family_is_explicit(self):
+        instance, pair = generate_instance(
+            0, family="parameterized", recipes=["sym_insert_inverse_pair"]
+        )
+        assert pair.recipe == "sym_insert_inverse_pair"
+
+    def test_unknown_recipe_rejected(self):
+        with pytest.raises(ValueError, match="unknown pair recipe"):
+            generate_instance(0, family="parameterized", recipes=["bogus"])
+
+
+class TestParameterizedOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matrix_agrees_and_skips_concrete_checkers(self, seed):
+        _, pair = generate_instance(seed, family="parameterized")
+        report = DifferentialOracle().check(pair)
+        assert report.agreed, report.to_dict()
+        assert set(report.results) == {"param_symbolic", "param_instantiate"}
+        assert report.skipped["dd_alternating"] == "symbolic pair"
+        assert report.truth is not None
+        truth_negative = report.truth == "not_equivalent"
+        assert truth_negative == (pair.label == "not_equivalent")
+
+
+class TestWitnessJournal:
+    def test_neq_pairs_persist_witness_valuations(self, tmp_path):
+        settings = FuzzSettings(
+            seed=1,
+            budget=8,
+            family="parameterized",
+            corpus_dir=str(tmp_path / "corpus"),
+            check_timeout=15.0,
+        )
+        outcome = run_fuzz(settings)
+        assert outcome.exit_code == 0
+        planted_neq = outcome.label_counts.get("not_equivalent", 0)
+        assert planted_neq > 0, "campaign drew no breaking mutants"
+        assert outcome.witnesses_persisted == planted_neq
+        journal = tmp_path / "corpus" / "witnesses.jsonl"
+        records = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+        ]
+        assert len(records) == planted_neq
+        for record in records:
+            assert record["family"] == "parameterized"
+            assert isinstance(record["planted_valuation"], dict)
+            assert record["truth"] == "not_equivalent"
+            assert record["found"] is not None
+            assert isinstance(record["found"]["valuation"], dict)
+
+    def test_equivalent_only_campaign_writes_no_journal(self, tmp_path):
+        settings = FuzzSettings(
+            seed=2,
+            budget=3,
+            family="clifford_t",
+            corpus_dir=str(tmp_path / "corpus"),
+            check_timeout=15.0,
+        )
+        outcome = run_fuzz(settings)
+        assert outcome.witnesses_persisted == 0
+        assert not (tmp_path / "corpus" / "witnesses.jsonl").exists()

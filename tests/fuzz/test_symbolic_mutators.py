@@ -1,0 +1,139 @@
+"""Label soundness of the symbolic mutators (``repro.fuzz.mutators``).
+
+Same contract as the concrete mutator tests, quantified over parameter
+valuations: a preserving symbolic mutant must match the base up to
+global phase at *every* valuation sampled, and a breaking mutant must
+differ at its own planted witness valuation — which for the coefficient
+nudge is the interesting case, because the defect vanishes at the
+all-zeros valuation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.circuit import circuit_unitary, unitaries_equivalent
+from repro.circuit.symbolic import (
+    circuit_parameters,
+    instantiate_circuit,
+    is_symbolic_circuit,
+)
+from repro.ec.permutations import to_logical_form
+from repro.fuzz.generator import random_family_circuit
+from repro.fuzz.mutators import (
+    LABEL_EQUIVALENT,
+    LABEL_NOT_EQUIVALENT,
+    SYMBOLIC_BREAKING_MUTATORS,
+    SYMBOLIC_MUTATORS,
+    SYMBOLIC_PRESERVING_MUTATORS,
+    MutationNotApplicable,
+)
+
+_TWO_PI = 2 * math.pi
+
+
+def _base(seed: int):
+    return random_family_circuit("parameterized", random.Random(seed))
+
+
+def _valuations(circuit, count: int, seed: int):
+    rng = random.Random(seed)
+    variables = circuit_parameters(circuit)
+    samples = [{name: 0.0 for name in variables}]
+    samples += [
+        {name: rng.uniform(0.0, _TWO_PI) for name in variables}
+        for _ in range(count)
+    ]
+    return samples
+
+
+def _logical_unitary(circuit, num_qubits, valuation):
+    concrete = instantiate_circuit(circuit, valuation)
+    logical, _ = to_logical_form(concrete, num_qubits)
+    return circuit_unitary(logical)
+
+
+def _apply(name, circuit, seed):
+    return SYMBOLIC_MUTATORS[name](circuit, random.Random(seed))
+
+
+class TestPreservingSymbolicMutators:
+    @pytest.mark.parametrize("name", sorted(SYMBOLIC_PRESERVING_MUTATORS))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserved_at_every_valuation(self, name, seed):
+        base = _base(seed)
+        try:
+            mutant, label, _witness = _apply(name, base, seed + 100)
+        except MutationNotApplicable:
+            pytest.skip(f"{name} not applicable to seed {seed}")
+        assert label == LABEL_EQUIVALENT
+        n = max(base.num_qubits, mutant.num_qubits)
+        for valuation in _valuations(base, 5, seed):
+            u1 = _logical_unitary(base, n, valuation)
+            u2 = _logical_unitary(mutant, n, valuation)
+            assert unitaries_equivalent(u1, u2), (
+                f"{name} broke equivalence at {valuation}"
+            )
+
+
+class TestBreakingSymbolicMutators:
+    @pytest.mark.parametrize("name", sorted(SYMBOLIC_BREAKING_MUTATORS))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_differs_at_witness_valuation(self, name, seed):
+        base = _base(seed)
+        try:
+            mutant, label, witness = _apply(name, base, seed + 100)
+        except MutationNotApplicable:
+            pytest.skip(f"{name} not applicable to seed {seed}")
+        assert label == LABEL_NOT_EQUIVALENT
+        valuation = witness["valuation"]
+        assert isinstance(valuation, dict) and valuation
+        n = max(base.num_qubits, mutant.num_qubits)
+        u1 = _logical_unitary(base, n, valuation)
+        u2 = _logical_unitary(mutant, n, valuation)
+        assert not unitaries_equivalent(u1, u2), (
+            f"{name} witness valuation {valuation} does not separate the pair"
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_coefficient_nudge_vanishes_at_zeros(self, seed):
+        # The error class only parameterized checking catches: the pair
+        # agrees wherever the nudged parameter is zero, so a single
+        # concrete check at a lucky valuation would miss it.
+        base = _base(seed)
+        mutant, _, witness = _apply("sym_coefficient_nudge", base, seed + 100)
+        zeros = {name: 0.0 for name in circuit_parameters(base)}
+        n = max(base.num_qubits, mutant.num_qubits)
+        u1 = _logical_unitary(base, n, zeros)
+        u2 = _logical_unitary(mutant, n, zeros)
+        assert unitaries_equivalent(u1, u2)
+        assert witness["variable"] in zeros
+
+
+class TestSymbolicMutatorRegistry:
+    def test_registries_partition(self):
+        assert set(SYMBOLIC_MUTATORS) == (
+            set(SYMBOLIC_PRESERVING_MUTATORS)
+            | set(SYMBOLIC_BREAKING_MUTATORS)
+        )
+        assert not (
+            set(SYMBOLIC_PRESERVING_MUTATORS)
+            & set(SYMBOLIC_BREAKING_MUTATORS)
+        )
+
+    def test_mutants_stay_symbolic(self):
+        base = _base(0)
+        for name in sorted(SYMBOLIC_MUTATORS):
+            try:
+                mutant, _, _ = _apply(name, base, 7)
+            except MutationNotApplicable:
+                continue
+            assert is_symbolic_circuit(mutant), name
+
+    def test_deterministic_in_seed(self):
+        base = _base(1)
+        for name in sorted(SYMBOLIC_MUTATORS):
+            m1, l1, w1 = _apply(name, base, 11)
+            m2, l2, w2 = _apply(name, base, 11)
+            assert str(m1) == str(m2) and l1 == l2 and w1 == w2

@@ -199,3 +199,57 @@ def test_portfolio_overhead_smoke():
     # this pair in ~0.05 s, the race in ~0.2 s.  15x + 2 s means the
     # racer regressed into something pathological.
     assert elapsed["portfolio"] < elapsed["sequential"] * 15 + 2.0
+
+
+@pytest.mark.bench_smoke
+def test_parameterized_smoke():
+    """Symbolic-first and instantiate-only parameterized checks agree on
+    a seeded ansatz pair, and the symbolic path stays fast: the full
+    baseline comparison lives in ``benchmarks/bench_parameterized.py``
+    (``BENCH_parameterized.json``); here we only guard its invariants."""
+    from repro.fuzz.generator import generate_instance
+
+    # Seed 2 draws an equivalent (split-rotation) pair; the symbolic ZX
+    # path proves it for every valuation.
+    _, pair = generate_instance(2, family="parameterized")
+    assert pair.label == "equivalent"
+
+    elapsed = {}
+    verdicts = {}
+    for label, symbolic in (("symbolic", True), ("instantiate", False)):
+        config = Configuration(
+            strategy="parameterized", parameterized_symbolic=symbolic,
+            static_analysis=False, timeout=30.0, seed=0,
+        )
+        start = time.perf_counter()
+        result = EquivalenceCheckingManager(
+            pair.circuit1, pair.circuit2, config
+        ).run()
+        elapsed[label] = time.perf_counter() - start
+        verdicts[label] = result.equivalence
+
+    assert verdicts["symbolic"] in POSITIVE
+    assert verdicts["instantiate"] is Equivalence.PROBABLY_EQUIVALENT
+    # The symbolic proof skips all num_instantiations concrete checks;
+    # parity with a small allowance still catches a ladder regression.
+    assert elapsed["symbolic"] <= elapsed["instantiate"] * 1.1 + 0.05
+
+
+@pytest.mark.bench_smoke
+def test_parameterized_smoke_detects_error():
+    """A planted coefficient nudge must yield a separating witness."""
+    from repro.circuit import circuit_unitary, unitaries_equivalent
+    from repro.circuit.symbolic import instantiate_circuit
+    from repro.fuzz.generator import generate_instance
+
+    _, pair = generate_instance(0, family="parameterized")
+    assert pair.label == "not_equivalent"
+    config = Configuration(strategy="parameterized", timeout=30.0, seed=0)
+    result = EquivalenceCheckingManager(
+        pair.circuit1, pair.circuit2, config
+    ).run()
+    assert result.equivalence is Equivalence.NOT_EQUIVALENT
+    witness = result.statistics["parameterized"]["witness_valuation"]
+    u1 = circuit_unitary(instantiate_circuit(pair.circuit1, witness))
+    u2 = circuit_unitary(instantiate_circuit(pair.circuit2, witness))
+    assert not unitaries_equivalent(u1, u2)

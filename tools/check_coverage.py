@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Enforce the checked-in line-coverage floors.
+
+Reads a ``coverage.json`` report (pytest-cov's ``--cov-report=json``)
+and compares per-package aggregate line coverage against the floors in
+``tools/coverage_floor.json``::
+
+    {"repro/ec": 70.0, "repro/circuit": 70.0}
+
+Each floor key is a path fragment under ``src/``; every measured file
+whose path contains ``src/<key>/`` (or starts with ``<key>/``) counts
+toward that package's aggregate, computed as summed covered lines over
+summed statements — so one well-covered big module cannot hide an
+uncovered small one behind a per-file average.
+
+The floors are a ratchet, not a target: raise them as coverage grows,
+never lower them to make a regression pass.
+
+Exit codes: 0 = every floor met, 1 = a floor violated or the report is
+missing/unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FLOORS = REPO / "tools" / "coverage_floor.json"
+DEFAULT_REPORT = REPO / "coverage.json"
+
+
+def _matches(path: str, package: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return f"src/{package}/" in normalized or normalized.startswith(
+        f"{package}/"
+    )
+
+
+def main(argv: list) -> int:
+    report_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_REPORT
+    try:
+        report = json.loads(report_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"coverage: cannot read {report_path}: {exc}", file=sys.stderr)
+        return 1
+    floors = json.loads(FLOORS.read_text())
+    files = report.get("files", {})
+    failed = False
+    for package, floor in sorted(floors.items()):
+        statements = 0
+        covered = 0
+        measured = 0
+        for path, data in files.items():
+            if not _matches(path, package):
+                continue
+            summary = data.get("summary", {})
+            statements += int(summary.get("num_statements", 0))
+            covered += int(summary.get("covered_lines", 0))
+            measured += 1
+        if not measured or not statements:
+            print(
+                f"coverage: no measured files for {package!r} — was the "
+                f"suite run with --cov={package.replace('/', '.')}?",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        percent = 100.0 * covered / statements
+        status = "ok" if percent >= floor else "FAIL"
+        print(
+            f"coverage: {package:16s} {percent:6.2f}% "
+            f"(floor {floor:.2f}%, {covered}/{statements} lines over "
+            f"{measured} files) {status}"
+        )
+        if percent < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
