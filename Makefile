@@ -27,7 +27,7 @@ test:
 # `make lint` works in the hermetic test container, while CI installs
 # them and gets the full gate.
 lint:
-	$(PYTHON) tools/check_repro.py
+	$(PYTHON) tools/check_repro.py --json lint_report.json
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests tools benchmarks; \
 	else \

@@ -228,6 +228,7 @@ class AlternatingChecker:
             schedule.append(1)
             seen_cost += cost
             target = round(m2 * seen_cost / total_cost) if total_cost else 0
+            # repro: allow(deadline-prop): emitted2 increases to target <= m2
             while emitted2 < target:
                 schedule.append(2)
                 emitted2 += 1
@@ -240,6 +241,7 @@ class AlternatingChecker:
             return [1] * m1 + [2] * m2
         schedule = []
         taken1 = taken2 = 0
+        # repro: allow(deadline-prop): every iteration takes one gate
         while taken1 < m1 or taken2 < m2:
             # Take from the side that is behind its proportional share.
             share1 = (taken1 + 1) / m1 if taken1 < m1 else float("inf")

@@ -40,6 +40,7 @@ def reconstruct_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
     )
     ops = list(circuit)
     index = 0
+    # repro: allow(deadline-prop): index strictly advances over a fixed list
     while index < len(ops):
         op = ops[index]
         if (

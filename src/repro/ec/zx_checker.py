@@ -67,7 +67,9 @@ def zx_check(
         # conventions leave numerically-identity single-qubit chains the
         # symbolic rules cannot see; contract them and re-reduce.
         with perf.phase("chain_contraction"):
-            while contract_unitary_chains(diagram, config.tolerance * 1e4):
+            while contract_unitary_chains(
+                diagram, config.tolerance * 1e4, deadline=deadline
+            ):
                 rewrites += full_reduce(
                     diagram,
                     deadline=deadline,

@@ -126,6 +126,7 @@ def trigger(spec: ChaosSpec) -> None:
         for i in range(spec.balloon_mb):
             balloon.append(bytearray(1024 * 1024))
             balloon[-1][0] = i % 256
+        # repro: allow(error-taxonomy): fault injection needs a raw MemoryError
         raise MemoryError(
             f"chaos balloon reached its {spec.balloon_mb} MiB ceiling"
         )
@@ -140,6 +141,7 @@ def trigger(spec: ChaosSpec) -> None:
         # signals a test harness might have blocked:
         os._exit(70)
     if spec.mode == "exception":
+        # repro: allow(error-taxonomy): deliberately unclassified exception
         raise RuntimeError("chaos: injected checker exception")
     if spec.mode == "leak":
         # Allocate and *retain*: the check itself proceeds normally, but

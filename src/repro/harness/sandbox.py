@@ -221,22 +221,31 @@ def run_check_isolated(
     start = time.monotonic()
     ctx = multiprocessing.get_context(_start_method())
     parent_conn, child_conn = ctx.Pipe(duplex=False)
-    process = ctx.Process(
-        target=_child_main,
-        args=(
-            child_conn,
-            circuit1,
-            circuit2,
-            configuration,
-            limits.memory_mb,
-            chaos.to_dict() if chaos is not None else None,
-        ),
-        daemon=True,
-    )
-    process.start()
-    child_conn.close()
+    try:
+        process = ctx.Process(
+            target=_child_main,
+            args=(
+                child_conn,
+                circuit1,
+                circuit2,
+                configuration,
+                limits.memory_mb,
+                chaos.to_dict() if chaos is not None else None,
+            ),
+            daemon=True,
+        )
+        process.start()
+    except BaseException:
+        # A failed spawn (fork exhaustion, unpicklable payload) must not
+        # strand either pipe end on the parent side.
+        parent_conn.close()
+        child_conn.close()
+        raise
     payload: Optional[Dict[str, Any]] = None
     try:
+        # Inside the guarded region: if this close raises, the finally
+        # below still reaps the child and releases the parent end.
+        child_conn.close()
         deadline = None if budget is None else start + budget
         while payload is None:
             remaining = (
@@ -258,13 +267,17 @@ def run_check_isolated(
             except EOFError:
                 break  # child died before reporting
     finally:
-        if payload is None:
-            process.kill()
-        process.join(5.0)
-        if process.is_alive():  # pragma: no cover - kill cannot be refused
-            process.terminate()
-            process.join(1.0)
-        parent_conn.close()
+        # The connection must be released even if reaping the child
+        # itself raises (kill/join on a pid the OS already recycled).
+        try:
+            if payload is None:
+                process.kill()
+            process.join(5.0)
+            if process.is_alive():  # pragma: no cover - kill cannot be refused
+                process.terminate()
+                process.join(1.0)
+        finally:
+            parent_conn.close()
 
     if payload is None:
         exitcode = process.exitcode

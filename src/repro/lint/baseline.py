@@ -1,0 +1,113 @@
+"""The checked-in findings baseline.
+
+A baseline entry grandfathers one *known* finding by its content
+fingerprint so the engine can be adopted on a tree with pre-existing
+violations without a flag day.  Every entry must carry a reason — an
+unexplained entry is itself an error (``unexplained-baseline``), and an
+entry whose finding no longer occurs is reported as ``stale-baseline``
+so the file can only shrink.
+
+Format (``tools/lint_baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"fingerprint": "...", "rule": "...", "path": "...",
+         "reason": "why this is grandfathered"}
+      ]
+    }
+
+The ``rule`` and ``path`` fields are denormalized documentation — only
+the fingerprint identifies the finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+
+class Baseline:
+    """Parsed baseline file with matching bookkeeping."""
+
+    def __init__(self, entries: Sequence[BaselineEntry], path: Path) -> None:
+        self.path = path
+        self.entries = list(entries)
+        self.by_fingerprint: Dict[str, BaselineEntry] = {
+            entry.fingerprint: entry for entry in self.entries
+        }
+        self._matched: Dict[str, bool] = {
+            entry.fingerprint: False for entry in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([], path)
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                fingerprint=str(item.get("fingerprint", "")),
+                rule=str(item.get("rule", "")),
+                path=str(item.get("path", "")),
+                reason=str(item.get("reason", "")),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries, path)
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and marks matched) if the finding is grandfathered."""
+        fingerprint = finding.fingerprint
+        if fingerprint is None or fingerprint not in self.by_fingerprint:
+            return False
+        self._matched[fingerprint] = True
+        return True
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries whose finding no longer occurs."""
+        return [
+            entry
+            for entry in self.entries
+            if not self._matched[entry.fingerprint]
+        ]
+
+    def unexplained_entries(self) -> List[BaselineEntry]:
+        """Entries without a reason — never acceptable."""
+        return [entry for entry in self.entries if not entry.reason.strip()]
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Serialize current findings as a fresh baseline (reasons left blank).
+
+    The blank reasons make a freshly written baseline *fail* the lint
+    until a human fills them in — regenerating the baseline is a way to
+    enumerate debt, not to silence it.
+    """
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": str(finding.path),
+            "reason": "",
+        }
+        for finding in findings
+        if finding.fingerprint is not None
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

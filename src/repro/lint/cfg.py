@@ -1,0 +1,484 @@
+"""Per-function control-flow graphs over the :mod:`ast` module.
+
+One :class:`CFG` is built per function (and one for the module body,
+where module-level statements execute).  Nodes are *statements*, not
+basic blocks — lint-scale precision beats construction speed here —
+plus a handful of synthetic nodes:
+
+``entry`` / ``exit`` / ``raise``
+    Function entry, the normal-return exit, and the exceptional exit
+    (an exception escaping the function).
+``except_dispatch``
+    The point where an exception thrown inside a ``try`` body picks a
+    handler.  Statements that can raise get an ``exception`` edge to the
+    innermost dispatch; the dispatch fans out to each handler node and —
+    unless a handler catches everything — onward to the next enclosing
+    target.
+``except``
+    One ``except E as e:`` clause head (the taxonomy rule anchors here).
+``with_exit``
+    The implicit ``__exit__`` of a ``with`` block: every path out of the
+    body — normal or exceptional — runs through it, which is exactly why
+    ``with``-acquired resources never leak.
+
+Edge kinds are ``next``, ``true``/``false`` (branch outcomes; for loops
+``true`` is "iterate", ``false`` is "exhausted"), and ``exception``.
+
+``finally`` bodies are built *once* and shared by every continuation
+(normal fall-through, ``return``/``break``/``continue`` unwinding,
+exception propagation).  That conflates continuations — a path may
+appear to enter the finally normally and leave it exceptionally — which
+over-approximates the feasible paths.  For the may-analyses built on
+top (leak detection, taint) over-approximation is the sound direction.
+
+Exception edges are added from any statement whose evaluated expressions
+contain a call, ``raise``, ``assert`` or ``await`` — plain data shuffles
+(``x = y + 1``) are assumed not to raise, which keeps the graphs (and
+the leak reports) readable at the cost of ignoring pathological
+``__add__`` overloads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+# Edge kinds.
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+EXC = "exception"
+
+#: Statement/expression containers that mean "this node can raise".
+_RAISING = (ast.Call, ast.Raise, ast.Assert, ast.Await)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+ScopeNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+class CFGNode:
+    """One control-flow node: a statement or a synthetic point."""
+
+    __slots__ = ("index", "kind", "stmt", "succs", "preds")
+
+    def __init__(self, index: int, kind: str, stmt: Optional[ast.AST]) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+        self.succs: List[Tuple["CFGNode", str]] = []
+        self.preds: List[Tuple["CFGNode", str]] = []
+
+    @property
+    def line(self) -> int:
+        if self.stmt is not None and hasattr(self.stmt, "lineno"):
+            return int(self.stmt.lineno)
+        return 0
+
+    def expressions(self) -> List[ast.AST]:
+        """The expressions *evaluated at this node* (never sub-statements).
+
+        This is what distinguishes a CFG node from ``ast.walk`` on the
+        statement: an ``if`` node owns only its test, not its body.
+        """
+        stmt = self.stmt
+        exprs: List[ast.AST] = []
+        if stmt is None:
+            return exprs
+        # Synthetic nodes borrow their statement for location only; the
+        # statement's expressions are evaluated at the *real* node.
+        if self.kind in ("with_exit", "except_dispatch", "finally"):
+            return exprs
+        if isinstance(stmt, (ast.If, ast.While)):
+            exprs.append(stmt.test)
+        elif isinstance(stmt, ast.For):
+            exprs.extend([stmt.iter, stmt.target])
+        elif isinstance(stmt, ast.AsyncFor):
+            exprs.extend([stmt.iter, stmt.target])
+        elif isinstance(stmt, (ast.Assign,)):
+            exprs.append(stmt.value)
+            exprs.extend(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            exprs.extend([stmt.value, stmt.target])
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                exprs.append(stmt.value)
+            exprs.append(stmt.target)
+        elif isinstance(stmt, ast.Expr):
+            exprs.append(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                exprs.append(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                exprs.append(stmt.exc)
+            if stmt.cause is not None:
+                exprs.append(stmt.cause)
+        elif isinstance(stmt, ast.Assert):
+            exprs.append(stmt.test)
+            if stmt.msg is not None:
+                exprs.append(stmt.msg)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                exprs.append(item.context_expr)
+                if item.optional_vars is not None:
+                    exprs.append(item.optional_vars)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.type is not None:
+                exprs.append(stmt.type)
+        elif isinstance(stmt, ast.Delete):
+            exprs.extend(stmt.targets)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            exprs.extend(stmt.decorator_list)
+            exprs.extend(stmt.args.defaults)
+            exprs.extend(d for d in stmt.args.kw_defaults if d is not None)
+        elif isinstance(stmt, ast.ClassDef):
+            exprs.extend(stmt.decorator_list)
+            exprs.extend(stmt.bases)
+            exprs.extend(k.value for k in stmt.keywords)
+        return exprs
+
+    def calls(self) -> List[ast.Call]:
+        """Calls evaluated at this node (including nested sub-expressions)."""
+        found: List[ast.Call] = []
+        for expr in self.expressions():
+            for child in ast.walk(expr):
+                if isinstance(child, ast.Call):
+                    found.append(child)
+        return found
+
+    def can_raise(self) -> bool:
+        if isinstance(self.stmt, (ast.Raise, ast.Assert)):
+            return True
+        if self.kind in ("with_exit", "except_dispatch"):
+            return True
+        for expr in self.expressions():
+            for child in ast.walk(expr):
+                if isinstance(child, _RAISING):
+                    return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"<CFGNode {self.index} {self.kind} {label} L{self.line}>"
+
+
+class CFG:
+    """Control-flow graph of one function or module body."""
+
+    def __init__(self, name: str, scope: ScopeNode) -> None:
+        self.name = name
+        self.scope = scope
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new("entry", None)
+        self.exit = self._new("exit", None)
+        self.raise_exit = self._new("raise", None)
+        #: Loop head node index -> nodes created while building its body.
+        self.loop_bodies: Dict[int, List[CFGNode]] = {}
+
+    def _new(self, kind: str, stmt: Optional[ast.AST]) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node
+
+    def connect(self, source: CFGNode, target: CFGNode, kind: str) -> None:
+        if (target, kind) not in source.succs:
+            source.succs.append((target, kind))
+            target.preds.append((source, kind))
+
+    def loops(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if isinstance(node.stmt, (ast.For, ast.AsyncFor, ast.While)):
+                if node.index in self.loop_bodies:
+                    yield node
+
+    def statements(self) -> Iterator[CFGNode]:
+        """All non-synthetic nodes, in creation (≈ source) order."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+_Dangling = List[Tuple[CFGNode, str]]
+
+
+class _FinallyFrame:
+    """A region whose every abrupt exit must run a shared subgraph first."""
+
+    __slots__ = ("entry", "exits")
+
+    def __init__(self, entry: CFGNode, exits: _Dangling) -> None:
+        self.entry = entry
+        self.exits = exits
+
+
+class _TryFrame:
+    """A ``try`` body whose exceptions are dispatched to handlers."""
+
+    __slots__ = ("dispatch",)
+
+    def __init__(self, dispatch: CFGNode) -> None:
+        self.dispatch = dispatch
+
+
+class _LoopFrame:
+    """A loop: where ``continue`` and ``break`` go."""
+
+    __slots__ = ("head", "breaks")
+
+    def __init__(self, head: CFGNode) -> None:
+        self.head = head
+        self.breaks: _Dangling = []
+
+
+_Frame = Union[_FinallyFrame, _TryFrame, _LoopFrame]
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.frames: List[_Frame] = []
+
+    # -- frame helpers ----------------------------------------------------
+    def _exception_target(self, above: Optional[_Frame] = None) -> CFGNode:
+        """Where an exception raised here lands first.
+
+        Walks the frame stack inside-out, chaining through ``finally``
+        regions, until a handler dispatch (or the function's exceptional
+        exit) is found.  ``above`` limits the walk to frames *outside* a
+        given frame (exceptions inside a handler must not re-enter its
+        own dispatch).
+        """
+        frames = self.frames
+        if above is not None:
+            frames = frames[: frames.index(above)]
+        for frame in reversed(frames):
+            if isinstance(frame, _TryFrame):
+                return frame.dispatch
+            if isinstance(frame, _FinallyFrame):
+                # The finally's own exits must (also) propagate outward;
+                # that edge is wired when the finally frame is popped.
+                return frame.entry
+        return self.cfg.raise_exit
+
+    def _add_exception_edge(self, node: CFGNode) -> None:
+        if node.can_raise():
+            self.cfg.connect(node, self._exception_target(), EXC)
+
+    def _route_abrupt(self, node: CFGNode, stop: Optional[_Frame]) -> _Dangling:
+        """Chain ``node`` through every finally between it and ``stop``.
+
+        Returns the dangling edges that must be wired to the abrupt
+        jump's real target (loop head, after-loop join, function exit).
+        ``stop=None`` unwinds the whole stack (a ``return``).
+        """
+        dangling: _Dangling = [(node, NEXT)]
+        for frame in reversed(self.frames):
+            if frame is stop:
+                break
+            if isinstance(frame, _FinallyFrame):
+                for source, kind in dangling:
+                    self.cfg.connect(source, frame.entry, kind)
+                dangling = list(frame.exits)
+        return dangling
+
+    def _innermost_loop(self) -> Optional[_LoopFrame]:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame
+        return None
+
+    # -- statement sequencing ---------------------------------------------
+    def build_stmts(self, stmts: Sequence[ast.stmt], incoming: _Dangling) -> _Dangling:
+        current = incoming
+        for stmt in stmts:
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def _wire(self, incoming: _Dangling, node: CFGNode) -> None:
+        for source, kind in incoming:
+            self.cfg.connect(source, node, kind)
+
+    def build_stmt(self, stmt: ast.stmt, incoming: _Dangling) -> _Dangling:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            self._add_exception_edge(node)
+            body_out = self.build_stmts(stmt.body, [(node, TRUE)])
+            if stmt.orelse:
+                else_out = self.build_stmts(stmt.orelse, [(node, FALSE)])
+            else:
+                else_out = [(node, FALSE)]
+            return body_out + else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            # A for-statement's iterator protocol can always raise; a
+            # while-test only if its expression can.
+            if isinstance(stmt, (ast.For, ast.AsyncFor)) or node.can_raise():
+                cfg.connect(node, self._exception_target(), EXC)
+            frame = _LoopFrame(node)
+            self.frames.append(frame)
+            first_body_index = len(cfg.nodes)
+            body_out = self.build_stmts(stmt.body, [(node, TRUE)])
+            cfg.loop_bodies[node.index] = cfg.nodes[first_body_index:]
+            self._wire(body_out, node)  # back edge
+            self.frames.pop()
+            if stmt.orelse:
+                out = self.build_stmts(stmt.orelse, [(node, FALSE)])
+            else:
+                out = [(node, FALSE)]
+            return out + frame.breaks
+
+        if isinstance(stmt, (ast.Try,)):
+            return self._build_try(stmt, incoming)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            self._add_exception_edge(node)
+            exit_node = cfg._new("with_exit", stmt)
+            # __exit__ may itself propagate the exception onward.
+            cfg.connect(exit_node, self._exception_target(), EXC)
+            frame = _FinallyFrame(exit_node, [(exit_node, NEXT)])
+            self.frames.append(frame)
+            body_out = self.build_stmts(stmt.body, [(node, NEXT)])
+            self.frames.pop()
+            self._wire(body_out, exit_node)
+            return [(exit_node, NEXT)]
+
+        if isinstance(stmt, ast.Return):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            self._add_exception_edge(node)
+            dangling = self._route_abrupt(node, stop=None)
+            self._wire(dangling, cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            cfg.connect(node, self._exception_target(), EXC)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            loop = self._innermost_loop()
+            if loop is not None:
+                loop.breaks.extend(self._route_abrupt(node, stop=loop))
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            loop = self._innermost_loop()
+            if loop is not None:
+                dangling = self._route_abrupt(node, stop=loop)
+                self._wire(dangling, loop.head)
+            return []
+
+        if isinstance(stmt, ast.ClassDef):
+            # The class statement itself, then its non-function body
+            # statements (they execute at definition time).  Methods are
+            # separate scopes with their own CFGs.
+            node = cfg._new("stmt", stmt)
+            self._wire(incoming, node)
+            self._add_exception_edge(node)
+            plain = [
+                child
+                for child in stmt.body
+                if not isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            return self.build_stmts(plain, [(node, NEXT)])
+
+        # Plain statement (including nested FunctionDef, which only
+        # *defines* at this point).
+        node = cfg._new("stmt", stmt)
+        self._wire(incoming, node)
+        self._add_exception_edge(node)
+        return [(node, NEXT)]
+
+    def _build_try(self, stmt: ast.Try, incoming: _Dangling) -> _Dangling:
+        cfg = self.cfg
+        finally_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            # Build the finally subgraph first — behind a synthetic join
+            # entry — so abrupt exits from the body can be routed through
+            # it.  Exceptions raised *inside* the finally go to the
+            # enclosing target (they are built before the frame is
+            # pushed, so the routing is automatic).
+            fin_entry = cfg._new("finally", stmt)
+            fin_out = self.build_stmts(stmt.finalbody, [(fin_entry, NEXT)])
+            finally_frame = _FinallyFrame(fin_entry, fin_out)
+            self.frames.append(finally_frame)
+
+        after: _Dangling = []
+        if stmt.handlers:
+            dispatch = cfg._new("except_dispatch", stmt)
+            try_frame = _TryFrame(dispatch)
+            self.frames.append(try_frame)
+            body_out = self.build_stmts(stmt.body, incoming)
+            self.frames.pop()
+            # Unless some handler catches everything, the dispatch also
+            # propagates outward.
+            if not any(_catches_everything(h) for h in stmt.handlers):
+                cfg.connect(dispatch, self._exception_target(), EXC)
+            for handler in stmt.handlers:
+                handler_node = cfg._new("except", handler)
+                cfg.connect(dispatch, handler_node, TRUE)
+                handler_out = self.build_stmts(
+                    handler.body, [(handler_node, NEXT)]
+                )
+                after.extend(handler_out)
+            if stmt.orelse:
+                body_out = self.build_stmts(stmt.orelse, body_out)
+            after.extend(body_out)
+        else:
+            body_out = self.build_stmts(stmt.body, incoming)
+            if stmt.orelse:  # pragma: no cover - try/finally has no else
+                body_out = self.build_stmts(stmt.orelse, body_out)
+            after.extend(body_out)
+
+        if finally_frame is not None:
+            self.frames.pop()
+            self._wire(after, finally_frame.entry)
+            # Exceptions routed into the finally propagate onward from
+            # its exits as well as falling through normally.
+            for source, kind in finally_frame.exits:
+                cfg.connect(source, self._exception_target(), EXC)
+            return list(finally_frame.exits)
+        return after
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[str] = []
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for entry in types:
+        if isinstance(entry, ast.Name):
+            names.append(entry.id)
+        elif isinstance(entry, ast.Attribute):
+            names.append(entry.attr)
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def build_cfg(scope: ScopeNode, name: str) -> CFG:
+    """Build the CFG of one function (or module) body."""
+    cfg = CFG(name, scope)
+    builder = _Builder(cfg)
+    out = builder.build_stmts(list(scope.body), [(cfg.entry, NEXT)])
+    for source, kind in out:
+        cfg.connect(source, cfg.exit, kind)
+    return cfg

@@ -1,0 +1,78 @@
+"""Finding records of the :mod:`repro.lint` engine.
+
+A :class:`Finding` is one rule violation at one source location.  The
+class deliberately keeps the attribute surface of the historical
+``tools/check_repro.py`` findings (``path``/``line``/``rule``/
+``message`` and the ``str()`` rendering) so existing callers and tests
+keep working, and adds the machine-readable pieces the baseline and the
+``--json`` report need: a stable ``fingerprint`` that survives
+unrelated-line churn, and a ``to_dict`` wire format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    def __init__(
+        self,
+        path: Path,
+        line: int,
+        rule: str,
+        message: str,
+        *,
+        function: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        #: Qualified name of the enclosing function, when the rule knows it.
+        self.function = function
+        #: Content-based identity, filled in by the engine (it knows the
+        #: repository root and the source text).
+        self.fingerprint: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({str(self)!r})"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe view for the ``--json`` findings report."""
+        return {
+            "rule": self.rule,
+            "path": str(self.path),
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def compute_fingerprint(
+    rule: str,
+    relpath: str,
+    source_lines: Sequence[str],
+    line: int,
+    occurrence: int,
+) -> str:
+    """Content-addressed identity of one finding.
+
+    Hashes the rule id, the repository-relative path, the *stripped text*
+    of the flagged line and an occurrence index (disambiguating several
+    identical findings on textually identical lines).  The line *number*
+    stays out of the hash on purpose: inserting an unrelated line above a
+    grandfathered finding must not turn it into a "new" finding.
+    """
+    text = ""
+    if 1 <= line <= len(source_lines):
+        text = source_lines[line - 1].strip()
+    payload = f"{rule}\x00{relpath}\x00{text}\x00{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

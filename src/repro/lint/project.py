@@ -1,0 +1,281 @@
+"""Whole-project model: modules, functions, imports, and the call graph.
+
+:class:`Project` loads every ``src/repro/**/*.py`` file once, indexes
+its functions (top-level, methods, nested) and import aliases, and
+offers best-effort *static* call resolution:
+
+* ``f(...)`` — a module-local function, or a ``from x import f`` alias;
+* ``mod.f(...)`` / ``pkg.mod.f(...)`` — through ``import`` aliases;
+* ``self.m(...)`` — a method of the caller's own class.
+
+Anything dynamic (callables in variables, getattr, duck-typed method
+calls on non-``self`` receivers) resolves to nothing — the
+interprocedural rules treat unresolved calls as no-ops, which keeps
+them quiet rather than noisy.  CFGs are built lazily and cached, so a
+rule that never looks at a module costs nothing for it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.lint.cfg import CFG, build_cfg
+from repro.lint.suppressions import SuppressionIndex
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FunctionInfo:
+    """One function (or method) definition in the project."""
+
+    def __init__(
+        self,
+        module: "ModuleInfo",
+        node: FunctionNode,
+        local_name: str,
+        class_name: Optional[str],
+    ) -> None:
+        self.module = module
+        self.node = node
+        #: Dotted name within the module, e.g. ``simulation_check`` or
+        #: ``WorkerPool.submit``.
+        self.local_name = local_name
+        self.class_name = class_name
+        self._cfg: Optional[CFG] = None
+
+    @property
+    def qname(self) -> str:
+        return f"{self.module.modname}.{self.local_name}"
+
+    @property
+    def name(self) -> str:
+        return self.local_name.rsplit(".", 1)[-1]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        args = self.node.args
+        return tuple(
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        )
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node, self.qname)
+        return self._cfg
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qname}>"
+
+
+class ModuleInfo:
+    """One parsed source file."""
+
+    def __init__(self, modname: str, path: Path, relpath: str, tree: ast.Module,
+                 source: str) -> None:
+        self.modname = modname
+        self.path = path
+        #: Path relative to ``src/repro`` in posix form, e.g.
+        #: ``ec/sim_checker.py`` — the unit every rule scopes on.
+        self.relpath = relpath
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Import alias -> dotted target (``np`` -> ``numpy``,
+        #: ``generate_stimulus`` -> ``repro.ec.stimuli.generate_stimulus``).
+        self.imports: Dict[str, str] = {}
+        self.suppressions = SuppressionIndex.scan(self.lines)
+        self._module_cfg: Optional[CFG] = None
+        self._index()
+
+    @property
+    def module_cfg(self) -> CFG:
+        """CFG of the module body (module-level statements)."""
+        if self._module_cfg is None:
+            self._module_cfg = build_cfg(self.tree, self.modname)
+        return self._module_cfg
+
+    def _index(self) -> None:
+        package = (
+            self.modname
+            if self.path.name == "__init__.py"
+            else self.modname.rsplit(".", 1)[0]
+        )
+        self._index_imports(package)
+        self._index_functions(self.tree.body, prefix="", class_name=None)
+
+    def _index_imports(self, package: str) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        self.imports[alias.name.split(".", 1)[0]] = (
+                            alias.name.split(".", 1)[0]
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    parts = package.split(".")
+                    if node.level - 1 > 0:
+                        parts = parts[: -(node.level - 1)]
+                    base = ".".join(parts + ([node.module] if node.module else []))
+                for alias in node.names:
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    self.imports[alias.asname or alias.name] = target
+
+    def _index_functions(
+        self,
+        body: List[ast.stmt],
+        prefix: str,
+        class_name: Optional[str],
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{prefix}{node.name}"
+                self.functions[local] = FunctionInfo(
+                    self, node, local, class_name
+                )
+                # Nested functions are scopes of their own.
+                self._index_functions(
+                    node.body, prefix=f"{local}.", class_name=class_name
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_functions(
+                    node.body,
+                    prefix=f"{prefix}{node.name}.",
+                    class_name=node.name,
+                )
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Conditionally defined functions (TYPE_CHECKING blocks,
+                # platform fallbacks) still belong to the module.
+                self._index_functions(node.body, prefix, class_name)
+                for handler in getattr(node, "handlers", []):
+                    self._index_functions(handler.body, prefix, class_name)
+                self._index_functions(node.orelse, prefix, class_name)
+
+    def function_by_name(self, name: str) -> Optional[FunctionInfo]:
+        """Module-local resolution of a bare name (top level wins)."""
+        info = self.functions.get(name)
+        if info is not None:
+            return info
+        for local, candidate in self.functions.items():
+            if local.rsplit(".", 1)[-1] == name:
+                return candidate
+        return None
+
+
+class Project:
+    """Every module under ``<root>/src/repro``, plus call resolution."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.src = root / "src" / "repro"
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.broken: List[Tuple[Path, SyntaxError]] = []
+        self._load()
+
+    def _load(self) -> None:
+        for path in sorted(self.src.rglob("*.py")):
+            source = path.read_text()
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                self.broken.append((path, exc))
+                continue
+            relpath = path.relative_to(self.src).as_posix()
+            if path.name == "__init__.py":
+                dotted = ".".join(
+                    ("repro",) + path.parent.relative_to(self.src).parts
+                )
+            else:
+                dotted = ".".join(
+                    ("repro",)
+                    + path.parent.relative_to(self.src).parts
+                    + (path.stem,)
+                )
+            self.modules[dotted] = ModuleInfo(
+                dotted, path, relpath, tree, source
+            )
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        for _name, module in sorted(self.modules.items()):
+            yield module
+
+    def function_at(self, qname: str) -> Optional[FunctionInfo]:
+        """Look a function up by fully qualified dotted name."""
+        for modname, module in self.modules.items():
+            if qname.startswith(modname + "."):
+                local = qname[len(modname) + 1 :]
+                if local in module.functions:
+                    return module.functions[local]
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, module: ModuleInfo,
+        caller: Optional[FunctionInfo] = None,
+    ) -> Optional[FunctionInfo]:
+        """Best-effort static resolution of one call expression."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = module.function_by_name(func.id)
+            if target is not None:
+                return target
+            imported = module.imports.get(func.id)
+            if imported is not None:
+                return self.function_at(imported)
+            return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        first, _, rest = dotted.partition(".")
+        if first == "self" and caller is not None and caller.class_name:
+            if "." not in rest:
+                return module.functions.get(f"{caller.class_name}.{rest}")
+            return None
+        base = module.imports.get(first)
+        if base is None:
+            return None
+        full = f"{base}.{rest}" if rest else base
+        return self.function_at(full)
+
+    def counter_namespaces(self) -> Tuple[str, ...]:
+        """``COUNTER_NAMESPACES`` from ``repro/perf/counters.py``, statically."""
+        counters = self.modules.get("repro.perf.counters")
+        if counters is None:
+            return ()
+        for node in ast.walk(counters.tree):
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "COUNTER_NAMESPACES" in targets:
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:  # pragma: no cover - malformed
+                        return ()
+                    return tuple(str(item) for item in value)
+        return ()

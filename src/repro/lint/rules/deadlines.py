@@ -1,0 +1,170 @@
+"""Cooperative-deadline rules.
+
+``deadline-loop`` (intraprocedural, unchanged semantics)
+    Every loop in a deadline-scoped function of the checker hot paths
+    must consult the cooperative deadline.
+
+``deadline-prop`` (interprocedural, new)
+    Closes the documented hole of the old rule: loops in helpers that
+    have no ``deadline`` in scope used to be exempt *by construction*.
+    The pass computes, per function, a "can run unbounded" summary (a
+    ``while`` loop that never consults ``deadline``), propagates it up
+    the static call graph, and flags any such loop reachable from a
+    checker entry point — either "thread the deadline through" (the
+    helper has no ``deadline`` parameter) or "the loop ignores the
+    in-scope deadline" (it has one but the loop never reads it).
+
+Only ``while`` loops participate in propagation: a ``for`` loop over a
+materialized iterable terminates with its input, while a ``while`` is
+where fixpoint engines (ZX simplification, worklists, probing) actually
+run unbounded.  The hot-path files keep the stricter all-loops
+intraprocedural rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import FunctionInfo, Project
+from repro.lint.rules.base import Rule
+
+#: Files whose deadline-scoped functions get the strict all-loops rule.
+HOT_PATH_PATTERNS = ("ec/*_checker.py", "zx/simplify.py")
+
+#: Packages the interprocedural propagation follows calls into.  The DD
+#: kernels are deliberately out: their loops are structural recursions
+#: over node children, bounded by diagram size, and their budget is the
+#: sandbox's hard wall clock — threading a deadline through every probe
+#: loop would put a clock read in the hottest code of the project.
+PROPAGATION_PACKAGES = ("ec", "zx")
+
+
+def _is_hot_path(relpath: str) -> bool:
+    return any(fnmatch.fnmatch(relpath, pat) for pat in HOT_PATH_PATTERNS)
+
+
+def _loop_consults_deadline(loop: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == "deadline"
+        for child in ast.walk(loop)
+    )
+
+
+def _direct_loops(function: FunctionInfo) -> Iterator[ast.AST]:
+    """Loop statements belonging to this function's own scope."""
+    for node in function.cfg.loops():
+        assert node.stmt is not None
+        yield node.stmt
+
+
+class DeadlineLoopRule(Rule):
+    """Loops in deadline-scoped hot-path functions must consult it."""
+
+    id = "deadline-loop"
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.iter_modules():
+            if not _is_hot_path(module.relpath):
+                continue
+            for _name, function in sorted(module.functions.items()):
+                if "deadline" not in function.params:
+                    continue
+                for loop in _direct_loops(function):
+                    if _loop_consults_deadline(loop):
+                        continue
+                    findings.append(
+                        self.finding(
+                            module,
+                            loop.lineno,
+                            "loop in a deadline-scoped function never "
+                            "consults the cooperative deadline",
+                            function,
+                        )
+                    )
+        return findings
+
+
+class DeadlinePropagationRule(Rule):
+    """Unbounded loops reachable from checker entry points need deadlines."""
+
+    id = "deadline-prop"
+
+    def run(self, project: Project) -> List[Finding]:
+        entries = self._entry_points(project)
+        # BFS over the static call graph, remembering one (arbitrary,
+        # first-discovered) call chain per function for the report.
+        chains: Dict[str, Tuple[str, ...]] = {}
+        queue: List[FunctionInfo] = []
+        for entry in entries:
+            if entry.qname not in chains:
+                chains[entry.qname] = (entry.qname,)
+                queue.append(entry)
+        while queue:
+            function = queue.pop(0)
+            for callee in self._callees(project, function):
+                if callee.qname in chains:
+                    continue
+                package = callee.module.relpath.split("/", 1)[0]
+                if package not in PROPAGATION_PACKAGES:
+                    continue
+                chains[callee.qname] = chains[function.qname] + (callee.qname,)
+                queue.append(callee)
+
+        findings: List[Finding] = []
+        for qname in sorted(chains):
+            function = project.function_at(qname)
+            if function is None:  # pragma: no cover - chains come from infos
+                continue
+            module = function.module
+            has_deadline = "deadline" in function.params
+            if has_deadline and _is_hot_path(module.relpath):
+                # The strict intraprocedural rule already covers these.
+                continue
+            for loop in _direct_loops(function):
+                if not isinstance(loop, ast.While):
+                    continue
+                if _loop_consults_deadline(loop):
+                    continue
+                chain = " -> ".join(chains[qname])
+                if has_deadline:
+                    message = (
+                        "while-loop ignores the in-scope deadline in a "
+                        f"function reachable from a checker entry ({chain})"
+                    )
+                else:
+                    message = (
+                        "while-loop can run unbounded in a helper without "
+                        "a deadline parameter, reachable from a checker "
+                        f"entry ({chain}); thread the deadline through"
+                    )
+                findings.append(
+                    self.finding(module, loop.lineno, message, function)
+                )
+        return findings
+
+    def _entry_points(self, project: Project) -> List[FunctionInfo]:
+        entries: List[FunctionInfo] = []
+        for module in project.iter_modules():
+            if not _is_hot_path(module.relpath):
+                continue
+            for _name, function in sorted(module.functions.items()):
+                if "deadline" in function.params:
+                    entries.append(function)
+        return entries
+
+    def _callees(
+        self, project: Project, function: FunctionInfo
+    ) -> Iterator[FunctionInfo]:
+        seen: Set[str] = set()
+        for node in function.cfg.statements():
+            for call in node.calls():
+                callee = project.resolve_call(
+                    call, function.module, caller=function
+                )
+                if callee is not None and callee.qname not in seen:
+                    seen.add(callee.qname)
+                    yield callee

@@ -1,0 +1,204 @@
+"""Generic worklist fixpoint solving over :mod:`repro.lint.cfg` graphs.
+
+Two layers live here:
+
+* :func:`solve_forward` — a forward dataflow fixpoint: states attach to
+  node *entries*, a transfer function maps a node's entry state to its
+  exit state, and an optional edge transfer refines what flows along a
+  specific edge kind (exception edges often want the pre-state).  The
+  lattice is supplied by the rule as a join function; convergence is
+  guaranteed as long as join is monotone and the state space has finite
+  height (every rule here uses finite maps over finite bit-sets).
+
+* :func:`postdominators` / :func:`control_dependence` — the classic
+  Ferrante–Ottenstein–Warren construction used by the taint rule for
+  implicit flows: a node is control-dependent on a branch if the branch
+  decides whether the node executes (the node post-dominates one
+  successor of the branch but not the branch itself).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generic, List, Optional, Set, TypeVar
+
+from repro.lint.cfg import CFG, CFGNode
+
+S = TypeVar("S")
+
+Transfer = Callable[[CFGNode, S], S]
+EdgeTransfer = Callable[[CFGNode, CFGNode, str, S, S], S]
+Join = Callable[[S, S], S]
+
+
+class DataflowResult(Generic[S]):
+    """States at node entry and exit after the fixpoint converged."""
+
+    def __init__(
+        self,
+        entry_states: Dict[int, S],
+        exit_states: Dict[int, S],
+        iterations: int,
+    ) -> None:
+        self.entry_states = entry_states
+        self.exit_states = exit_states
+        self.iterations = iterations
+
+    def at_entry(self, node: CFGNode) -> S:
+        return self.entry_states[node.index]
+
+    def at_exit(self, node: CFGNode) -> S:
+        return self.exit_states[node.index]
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer[S],
+    join: Join[S],
+    initial: S,
+    bottom: S,
+    edge_transfer: Optional[EdgeTransfer[S]] = None,
+    max_iterations: int = 100_000,
+) -> DataflowResult[S]:
+    """Run a forward dataflow analysis to fixpoint.
+
+    Args:
+        cfg: The graph to analyze.
+        transfer: Maps a node's entry state to its exit state.  Must be
+            pure — it can run multiple times per node.
+        join: Least upper bound of two states (associative/commutative).
+        initial: State at the CFG entry node.
+        bottom: Identity of ``join`` — the state of unreached nodes.
+        edge_transfer: Optional ``(source, target, kind, pre, post) ->
+            state`` refinement of what flows along one edge; defaults to
+            the source's exit (``post``) state.
+        max_iterations: Hard safety valve; a diverging transfer function
+            (non-monotone, or an infinite-height lattice) raises
+            ``RuntimeError`` instead of hanging the lint run.
+    """
+    entry_states: Dict[int, S] = {node.index: bottom for node in cfg.nodes}
+    entry_states[cfg.entry.index] = initial
+    exit_states: Dict[int, S] = {node.index: bottom for node in cfg.nodes}
+
+    worklist: deque = deque([cfg.entry])
+    queued: Set[int] = {cfg.entry.index}
+    # A successor must be processed at least once even when the joined
+    # state equals bottom (with ``initial == bottom`` nothing would ever
+    # "change", and the fixpoint would die at the entry node).
+    reached: Set[int] = {cfg.entry.index}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge after {max_iterations} "
+                f"iterations in {cfg.name!r} (non-monotone transfer?)"
+            )
+        node = worklist.popleft()
+        queued.discard(node.index)
+        pre = entry_states[node.index]
+        post = transfer(node, pre)
+        exit_states[node.index] = post
+        for successor, kind in node.succs:
+            flowed = (
+                post
+                if edge_transfer is None
+                else edge_transfer(node, successor, kind, pre, post)
+            )
+            merged = join(entry_states[successor.index], flowed)
+            first_visit = successor.index not in reached
+            if merged != entry_states[successor.index] or first_visit:
+                entry_states[successor.index] = merged
+                reached.add(successor.index)
+                if successor.index not in queued:
+                    worklist.append(successor)
+                    queued.add(successor.index)
+    return DataflowResult(entry_states, exit_states, iterations)
+
+
+# ---------------------------------------------------------------------------
+# post-dominance and control dependence
+# ---------------------------------------------------------------------------
+def postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """``node index -> set of node indices that post-dominate it``.
+
+    Both regular exits (``exit``) and exceptional exits (``raise``) are
+    treated as terminal: a virtual sink behind them anchors the
+    analysis, so functions whose only exits are raises still converge.
+    Every node post-dominates itself.
+    """
+    terminal = {cfg.exit.index, cfg.raise_exit.index}
+    everything = {node.index for node in cfg.nodes}
+    podom: Dict[int, Set[int]] = {}
+    for node in cfg.nodes:
+        if node.index in terminal:
+            podom[node.index] = {node.index}
+        else:
+            podom[node.index] = set(everything)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.index in terminal:
+                continue
+            if node.succs:
+                merged: Optional[Set[int]] = None
+                for successor, _kind in node.succs:
+                    if merged is None:
+                        merged = set(podom[successor.index])
+                    else:
+                        merged &= podom[successor.index]
+                assert merged is not None
+                merged.add(node.index)
+            else:
+                # Dead-end node (e.g. ``break``/``continue`` whose edges
+                # were routed elsewhere): only itself.
+                merged = {node.index}
+            if merged != podom[node.index]:
+                podom[node.index] = merged
+                changed = True
+    return podom
+
+
+def control_dependence(cfg: CFG) -> Dict[int, Set[int]]:
+    """``node index -> branch node indices it is (transitively) control-
+    dependent on``.
+
+    A node ``n`` is directly control-dependent on a multi-successor node
+    ``b`` when ``n`` post-dominates some successor of ``b`` but does not
+    post-dominate ``b`` itself — i.e. the outcome at ``b`` decides
+    whether ``n`` runs.  The transitive closure folds in the branches
+    that in turn decide ``b``, which is what an implicit-flow taint
+    analysis needs (a verdict returned after a probabilistic early-exit
+    loop is still governed by the loop's probabilistic test).
+    """
+    podom = postdominators(cfg)
+    direct: Dict[int, Set[int]] = {node.index: set() for node in cfg.nodes}
+    for branch in cfg.nodes:
+        if len(branch.succs) < 2:
+            continue
+        strict_podom_of_branch = podom[branch.index] - {branch.index}
+        for successor, _kind in branch.succs:
+            # Every node that post-dominates this successor (including
+            # the successor itself) but does not strictly post-dominate
+            # the branch only runs when the branch goes this way.
+            for node_index in podom[successor.index]:
+                if node_index == branch.index:
+                    continue
+                if node_index not in strict_podom_of_branch:
+                    direct[node_index].add(branch.index)
+
+    # Transitive closure (iterate to fixpoint; graphs are small).
+    closed: Dict[int, Set[int]] = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for index, branches in closed.items():
+            extra: Set[int] = set()
+            for branch in branches:
+                extra |= closed[branch]
+            if not extra <= branches:
+                branches |= extra
+                changed = True
+    return closed

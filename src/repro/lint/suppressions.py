@@ -1,0 +1,70 @@
+"""Inline suppression comments: ``# repro: allow(<rule-id>): <reason>``.
+
+The comment applies to findings of the named rule on the *same line* or
+on the *line directly below* it (so it can sit on its own line above a
+flagged statement).  The reason is mandatory — a bare ``allow`` without
+one never parses and therefore never suppresses.
+
+The engine tracks which suppressions actually matched a finding; an
+``allow`` that suppresses nothing is itself reported under the
+``stale-allow`` rule, so dead suppressions cannot accumulate and
+silently mask future regressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow(...)`` comment."""
+
+    line: int
+    rule: str
+    reason: str
+    #: Lines a finding may sit on for this suppression to apply.
+    used: bool = False
+
+    def applies_to(self, rule: str, line: int) -> bool:
+        return rule == self.rule and line in (self.line, self.line + 1)
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one source file, with usage tracking."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source_lines: Sequence[str]) -> "SuppressionIndex":
+        index = cls()
+        for number, text in enumerate(source_lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match:
+                suppression = Suppression(
+                    line=number, rule=match.group(1), reason=match.group(2)
+                )
+                index.by_line.setdefault(number, []).append(suppression)
+        return index
+
+    def all(self) -> List[Suppression]:
+        return [s for entries in self.by_line.values() for s in entries]
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True (and marks the suppression used) if ``rule@line`` is allowed."""
+        hit = False
+        for candidate in (line, line - 1):
+            for suppression in self.by_line.get(candidate, ()):
+                if suppression.applies_to(rule, line):
+                    suppression.used = True
+                    hit = True
+        return hit
+
+    def stale(self) -> List[Suppression]:
+        """Suppressions that matched no finding in this run."""
+        return [s for s in self.all() if not s.used]

@@ -579,15 +579,20 @@ class WorkerPool:
     def drain(self, timeout: Optional[float] = None) -> None:
         """Pump until every submitted job is resolved.
 
-        Raises :class:`TimeoutError` when ``timeout`` elapses first —
-        losing jobs silently is the one thing a supervisor may not do.
+        Raises :class:`repro.errors.CheckTimeout` when ``timeout``
+        elapses first — losing jobs silently is the one thing a
+        supervisor may not do, and the classified error lets callers
+        dispatch on ``kind``/``transient`` like every other failure.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._unresolved > 0:
             if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
+                raise CheckTimeout(
                     f"pool drain timed out with {self._unresolved} "
-                    "job(s) unresolved"
+                    "job(s) unresolved",
+                    hard=False,
+                    budget_seconds=timeout,
+                    unresolved=self._unresolved,
                 )
             self.pump()
 
@@ -1012,7 +1017,7 @@ class WorkerPool:
         if drain and not self.broken:
             try:
                 self.drain(timeout=timeout)
-            except TimeoutError:  # pragma: no cover - operator escape
+            except CheckTimeout:  # pragma: no cover - operator escape
                 pass
         for worker in list(self._workers):
             worker.retiring = True

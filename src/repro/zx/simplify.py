@@ -90,6 +90,7 @@ def _fuse(diagram: ZXDiagram, keep: int, merge: int) -> None:
     simple edge is fused).
     """
     worklist = [merge]
+    # repro: allow(deadline-prop): each pop discards or fuses a spider; bounded
     while worklist:
         merge = worklist.pop()
         if (
@@ -133,16 +134,19 @@ def _fuse(diagram: ZXDiagram, keep: int, merge: int) -> None:
         diagram.remove_vertex(merge)
 
 
-def to_graph_like(diagram: ZXDiagram) -> ZXDiagram:
+def to_graph_like(diagram: ZXDiagram, deadline=None) -> ZXDiagram:
     """Transform in place to graph-like form; returns the diagram.
 
     X spiders are recolored to Z (toggling the type of every incident
-    edge), then all simple edges between Z spiders are fused away.
+    edge), then all simple edges between Z spiders are fused away.  The
+    fusion sweep consults the cooperative ``deadline`` between passes.
     """
+    # repro: allow(deadline-loop): single recolor pass over the vertex list
     for vertex in list(diagram.vertices()):
         if diagram.vertex_type(vertex) is VertexType.X:
             diagram.set_vertex_type(vertex, VertexType.Z)
             # set_edge_type only rewrites values, so the live view is safe
+            # repro: allow(deadline-loop): bounded by the vertex degree
             for neighbor in diagram.neighbor_view(vertex):
                 current = diagram.edge_type(vertex, neighbor)
                 flipped = (
@@ -154,6 +158,8 @@ def to_graph_like(diagram: ZXDiagram) -> ZXDiagram:
     changed = True
     while changed:
         changed = False
+        _check_deadline(deadline)
+        # repro: allow(deadline-loop): one sweep over a materialized edge list
         for u, v, edge_type in list(diagram.edges()):
             if edge_type is not EdgeType.SIMPLE:
                 continue
@@ -686,7 +692,7 @@ def interior_clifford_simp(
             diagram, deadline=deadline, counters=counters
         )
     total = 0
-    to_graph_like(diagram)
+    to_graph_like(diagram, deadline=deadline)
     while True:
         applied = id_simp(diagram, deadline, counters)
         applied += pivot_simp(diagram, deadline, counters)
@@ -773,7 +779,9 @@ def full_reduce(
 # ---------------------------------------------------------------------------
 # numerical single-qubit chain contraction (reproduction extension)
 # ---------------------------------------------------------------------------
-def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
+def contract_unitary_chains(
+    diagram: ZXDiagram, tolerance: float = 1e-9, deadline=None
+) -> int:
     """Remove degree-2 spider chains that multiply out to a wire or an H.
 
     After ``full_reduce``, a pair of circuits whose single-qubit gates were
@@ -794,6 +802,7 @@ def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
     while changed:
         changed = False
         for start in list(diagram.vertices()):
+            _check_deadline(deadline)
             if start not in diagram._types:
                 continue
             if diagram.vertex_type(start) is not VertexType.Z:
@@ -803,9 +812,11 @@ def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
             # walk left and right to the anchors
             chain = [start]
             ends = []
+            # repro: allow(deadline-loop): exactly two directions
             for direction in (0, 1):
                 previous = start
                 current = diagram.neighbors(start)[direction]
+                # repro: allow(deadline-loop): bounded walk along a degree-2 chain
                 while (
                     current not in ends
                     and diagram.vertex_type(current) is VertexType.Z
@@ -846,11 +857,13 @@ def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
             ordered = []
             previous, current = left_anchor, left_prev
             # left_prev is the chain vertex adjacent to left_anchor
+            # repro: allow(deadline-loop): re-walks the chain found above
             while current != right_anchor:
                 ordered.append((previous, current))
                 nxt = [n for n in diagram.neighbors(current) if n != previous][0]
                 previous, current = current, nxt
             ordered.append((previous, current))  # final edge into right anchor
+            # repro: allow(deadline-loop): bounded by the chain just walked
             for edge_from, edge_to in ordered:
                 if diagram.edge_type(edge_from, edge_to) is EdgeType.HADAMARD:
                     matrix = apply_h(matrix)
@@ -880,6 +893,7 @@ def contract_unitary_chains(diagram: ZXDiagram, tolerance: float = 1e-9) -> int:
                 new_edge = EdgeType.HADAMARD
             else:
                 continue
+            # repro: allow(deadline-loop): bounded by the chain just walked
             for vertex in set(
                 v for _, v in ordered if v != right_anchor
             ):

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro.lint test suite.
+
+``fake_tree`` builds a minimal ``src/repro`` layout in ``tmp_path`` so
+each rule test can lint a hand-written fixture file in isolation (the
+engine is always pointed at a repository *root*, never a single file).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import run_lint
+
+
+@pytest.fixture
+def fake_tree(tmp_path):
+    def build(files):
+        counters = tmp_path / "src" / "repro" / "perf" / "counters.py"
+        counters.parent.mkdir(parents=True, exist_ok=True)
+        counters.write_text('COUNTER_NAMESPACES = ("analysis", "zx")\n')
+        for relative, source in files.items():
+            target = tmp_path / "src" / "repro" / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build
+
+
+def lint_with(root, rule):
+    """Run exactly one rule (plus engine bookkeeping) over the tree."""
+    return run_lint(root, rules=[rule]).findings

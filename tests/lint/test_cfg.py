@@ -1,0 +1,277 @@
+"""Golden-structure tests for the CFG builder.
+
+Each test parses a small function, builds its CFG, and asserts the
+edges that the dataflow rules depend on: exception edges land on the
+right dispatch, ``finally`` bodies are on every abrupt path, ``with``
+exits dominate both continuations, and loop back edges close.
+"""
+
+import ast
+
+from repro.lint.cfg import EXC, FALSE, NEXT, TRUE, build_cfg
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    return build_cfg(tree.body[0], "f")
+
+
+def _node(cfg, kind=None, line=None, stmt_type=None):
+    """The unique node matching the given filters."""
+    matches = [
+        n
+        for n in cfg.nodes
+        if (kind is None or n.kind == kind)
+        and (line is None or n.line == line)
+        and (stmt_type is None or isinstance(n.stmt, stmt_type))
+    ]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def _succ_kinds(node):
+    return sorted((target.index, kind) for target, kind in node.succs)
+
+
+def _reaches(cfg, source, target, *, avoid=()):
+    """True if target is reachable from source without touching avoid."""
+    blocked = {n.index for n in avoid}
+    seen = set()
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        if node.index in seen or node.index in blocked:
+            continue
+        seen.add(node.index)
+        if node is target:
+            return True
+        frontier.extend(succ for succ, _ in node.succs)
+    return False
+
+
+class TestLinearAndBranch:
+    def test_straight_line(self):
+        cfg = _cfg("def f():\n    x = 1\n    y = 2\n")
+        a = _node(cfg, line=2)
+        b = _node(cfg, line=3)
+        assert (b, NEXT) in a.succs
+        assert (cfg.exit, NEXT) in b.succs
+
+    def test_if_has_true_false_edges(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    y = 2\n"
+        )
+        branch = _node(cfg, line=2)
+        then = _node(cfg, line=3)
+        join = _node(cfg, line=4)
+        assert (then, TRUE) in branch.succs
+        assert (join, FALSE) in branch.succs
+        assert (join, NEXT) in then.succs
+
+    def test_early_return_skips_the_rest(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        first = _node(cfg, line=3)
+        second = _node(cfg, line=4)
+        assert (cfg.exit, NEXT) in first.succs
+        # The early return must not fall through to the second.
+        assert all(target is not second for target, _ in first.succs)
+
+
+class TestLoops:
+    def test_while_back_edge_and_exit(self):
+        cfg = _cfg(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "    return n\n"
+        )
+        head = _node(cfg, line=2)
+        body = _node(cfg, line=3)
+        after = _node(cfg, line=4)
+        assert (body, TRUE) in head.succs
+        assert (head, NEXT) in body.succs  # back edge
+        assert (after, FALSE) in head.succs
+
+    def test_nested_loops_close_independently(self):
+        cfg = _cfg(
+            "def f(grid):\n"
+            "    for row in grid:\n"
+            "        for cell in row:\n"
+            "            use(cell)\n"
+            "    return 0\n"
+        )
+        outer = _node(cfg, line=2)
+        inner = _node(cfg, line=3)
+        body = _node(cfg, line=4)
+        assert (inner, TRUE) in outer.succs
+        assert (body, TRUE) in inner.succs
+        assert (inner, NEXT) in body.succs  # inner back edge
+        assert (outer, FALSE) in inner.succs  # inner exhausted -> outer head
+        assert outer.index in cfg.loop_bodies
+        assert inner.index in cfg.loop_bodies
+        inner_members = cfg.loop_bodies[inner.index]
+        assert body in inner_members
+
+    def test_break_leaves_the_loop(self):
+        cfg = _cfg(
+            "def f(n):\n"
+            "    while True:\n"
+            "        break\n"
+            "    return n\n"
+        )
+        brk = _node(cfg, line=3)
+        after = _node(cfg, line=4)
+        assert (after, NEXT) in brk.succs
+
+    def test_continue_returns_to_the_head(self):
+        cfg = _cfg(
+            "def f(items):\n"
+            "    for x in items:\n"
+            "        continue\n"
+        )
+        head = _node(cfg, line=2)
+        cont = _node(cfg, line=3, stmt_type=ast.Continue)
+        assert (head, NEXT) in cont.succs
+
+
+class TestExceptions:
+    def test_call_gets_exception_edge_to_raise_exit(self):
+        cfg = _cfg("def f():\n    g()\n")
+        call = _node(cfg, line=2)
+        assert (cfg.raise_exit, EXC) in call.succs
+
+    def test_pure_shuffle_has_no_exception_edge(self):
+        cfg = _cfg("def f(y):\n    x = y\n")
+        shuffle = _node(cfg, line=2)
+        assert all(kind != EXC for _, kind in shuffle.succs)
+
+    def test_try_except_routes_to_handler(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        h()\n"
+        )
+        call = _node(cfg, line=3)
+        dispatch = _node(cfg, kind="except_dispatch")
+        handler = _node(cfg, kind="except")
+        assert (dispatch, EXC) in call.succs
+        assert (handler, TRUE) in dispatch.succs
+        # ValueError does not catch everything: the dispatch escapes too.
+        assert (cfg.raise_exit, EXC) in dispatch.succs
+
+    def test_catch_all_handler_does_not_escape(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        dispatch = _node(cfg, kind="except_dispatch")
+        assert (cfg.raise_exit, EXC) not in dispatch.succs
+
+
+class TestFinally:
+    def test_finally_on_normal_and_exceptional_paths(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        call = _node(cfg, line=3)
+        fin = _node(cfg, kind="finally")
+        cleanup = _node(cfg, line=5)
+        assert (fin, EXC) in call.succs  # exception runs the finally
+        assert (fin, NEXT) in call.succs  # so does fall-through
+        assert (cleanup, NEXT) in fin.succs
+        # After the finally, both continuations exist.
+        assert (cfg.exit, NEXT) in cleanup.succs
+        assert (cfg.raise_exit, EXC) in cleanup.succs
+
+    def test_return_unwinds_through_finally(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        ret = _node(cfg, line=3)
+        fin = _node(cfg, kind="finally")
+        cleanup = _node(cfg, line=5)
+        assert (fin, NEXT) in ret.succs
+        # The return reaches the exit only through the finally body.
+        assert not _reaches(cfg, ret, cfg.exit, avoid=[cleanup])
+        assert _reaches(cfg, ret, cfg.exit)
+
+    def test_break_unwinds_through_finally(self):
+        cfg = _cfg(
+            "def f(items):\n"
+            "    for x in items:\n"
+            "        try:\n"
+            "            break\n"
+            "        finally:\n"
+            "            cleanup()\n"
+            "    return 0\n"
+        )
+        brk = _node(cfg, line=4, stmt_type=ast.Break)
+        cleanup = _node(cfg, line=6)
+        after = _node(cfg, line=7)
+        assert not _reaches(cfg, brk, after, avoid=[cleanup])
+        assert _reaches(cfg, brk, after)
+
+
+class TestWith:
+    def test_with_exit_on_both_continuations(self):
+        cfg = _cfg(
+            "def f(path):\n"
+            "    with open(path) as fh:\n"
+            "        fh.read()\n"
+            "    return 0\n"
+        )
+        enter = _node(cfg, line=2, kind="stmt")
+        body = _node(cfg, line=3)
+        w_exit = _node(cfg, kind="with_exit")
+        after = _node(cfg, line=4)
+        assert (body, NEXT) in enter.succs
+        assert (w_exit, NEXT) in body.succs  # normal fall-through
+        assert (w_exit, EXC) in body.succs  # body exception runs __exit__
+        assert (after, NEXT) in w_exit.succs
+        # A body exception cannot bypass __exit__ on the way out.
+        assert not _reaches(cfg, body, cfg.raise_exit, avoid=[w_exit])
+
+    def test_with_exit_owns_no_expressions(self):
+        cfg = _cfg(
+            "def f(path):\n"
+            "    with open(path) as fh:\n"
+            "        pass\n"
+        )
+        w_exit = _node(cfg, kind="with_exit")
+        assert w_exit.expressions() == []
+        assert w_exit.calls() == []
+
+
+class TestNodeAccessors:
+    def test_if_node_owns_only_its_test(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c():\n"
+            "        g()\n"
+        )
+        branch = _node(cfg, line=2)
+        calls = branch.calls()
+        assert len(calls) == 1
+        assert isinstance(calls[0].func, ast.Name)
+        assert calls[0].func.id == "c"

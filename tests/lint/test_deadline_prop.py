@@ -1,0 +1,157 @@
+"""Fixture tests for the interprocedural ``deadline-prop`` rule."""
+
+from repro.lint.rules import DeadlinePropagationRule
+
+from tests.lint.conftest import lint_with
+
+
+class TestPropagation:
+    def test_unbounded_helper_reachable_from_entry_is_flagged(self, fake_tree):
+        # The hole the old syntactic rule documented: the helper has no
+        # ``deadline`` parameter, so "loops in deadline-scoped functions"
+        # exempted it by construction — yet the checker entry point
+        # cannot bound it.
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    _search(circ)
+                    return 0
+
+
+                def _search(circ):
+                    while circ:
+                        circ = circ.step()
+                """
+            }
+        )
+        findings = lint_with(root, DeadlinePropagationRule())
+        assert [f.rule for f in findings] == ["deadline-prop"]
+        assert findings[0].line == 7
+        assert "thread the deadline through" in findings[0].message
+        # The report names the call chain from the entry point.
+        assert "run" in findings[0].message
+        assert "_search" in findings[0].message
+
+    def test_cross_module_helper_ignoring_its_deadline_is_flagged(
+        self, fake_tree
+    ):
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                from repro.ec.support import refine
+
+
+                def run(circ, deadline):
+                    refine(circ, deadline)
+                    return 0
+                """,
+                "ec/support.py": """\
+                def refine(circ, deadline):
+                    while circ:
+                        circ = circ.step()
+                """,
+            }
+        )
+        findings = lint_with(root, DeadlinePropagationRule())
+        assert [f.rule for f in findings] == ["deadline-prop"]
+        assert findings[0].path.name == "support.py"
+        assert findings[0].line == 2
+        assert "ignores the in-scope deadline" in findings[0].message
+
+    def test_recursive_helpers_converge_and_flag_once(self, fake_tree):
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    _a(circ)
+                    return 0
+
+
+                def _a(circ):
+                    return _b(circ)
+
+
+                def _b(circ):
+                    while circ:
+                        circ = _a(circ)
+                """
+            }
+        )
+        findings = lint_with(root, DeadlinePropagationRule())
+        assert [f.rule for f in findings] == ["deadline-prop"]
+        assert findings[0].line == 11
+
+
+class TestBounds:
+    def test_for_loops_do_not_participate(self, fake_tree):
+        # A for over a materialized iterable terminates with its input;
+        # only while-loops are fixpoint engines.
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    _walk(circ)
+                    return 0
+
+
+                def _walk(circ):
+                    for op in circ:
+                        use(op)
+                """
+            }
+        )
+        assert lint_with(root, DeadlinePropagationRule()) == []
+
+    def test_deadline_consulting_loop_is_clean(self, fake_tree):
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    _search(circ, deadline)
+                    return 0
+
+
+                def _search(circ, deadline):
+                    while circ:
+                        _check_deadline(deadline)
+                        circ = circ.step()
+                """
+            }
+        )
+        assert lint_with(root, DeadlinePropagationRule()) == []
+
+    def test_unreachable_helper_is_exempt(self, fake_tree):
+        # Not called from any checker entry point: nobody's deadline is
+        # at stake.
+        root = fake_tree(
+            {
+                "ec/support.py": """\
+                def orphan(circ):
+                    while circ:
+                        circ = circ.step()
+                """
+            }
+        )
+        assert lint_with(root, DeadlinePropagationRule()) == []
+
+    def test_propagation_stops_outside_ec_and_zx(self, fake_tree):
+        # Calls into the dd kernels are deliberately not followed.
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                from repro.dd.kernels import probe
+
+
+                def run(circ, deadline):
+                    probe(circ)
+                    return 0
+                """,
+                "dd/kernels.py": """\
+                def probe(circ):
+                    while circ:
+                        circ = circ.step()
+                """,
+            }
+        )
+        assert lint_with(root, DeadlinePropagationRule()) == []

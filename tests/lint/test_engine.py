@@ -1,0 +1,205 @@
+"""Engine-level tests: fingerprints, baseline reconciliation, CLI JSON."""
+
+import json
+
+from repro.lint import cli
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.engine import run_lint
+from repro.lint.rules import DeadlineLoopRule
+
+from tests.lint.conftest import lint_with
+
+VIOLATION = """\
+def run(circ, deadline):
+    for op in circ:
+        total = 1
+    return 0
+"""
+
+
+def _one_finding(root):
+    findings = lint_with(root, DeadlineLoopRule())
+    assert [f.rule for f in findings] == ["deadline-loop"]
+    return findings[0]
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_line_shifts(self, fake_tree):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        before = _one_finding(root)
+        # Unrelated edits above the finding move its line but must not
+        # move its identity — otherwise every refactor invalidates the
+        # whole baseline.
+        target = root / "src" / "repro" / "ec" / "demo_checker.py"
+        target.write_text("# a new leading comment\n\n" + target.read_text())
+        after = _one_finding(root)
+        assert after.line == before.line + 2
+        assert after.fingerprint == before.fingerprint
+
+    def test_identical_lines_get_distinct_fingerprints(self, fake_tree):
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    for op in circ:
+                        total = 1
+                    return 0
+
+
+                def rerun(circ, deadline):
+                    for op in circ:
+                        total = 1
+                    return 0
+                """
+            }
+        )
+        findings = lint_with(root, DeadlineLoopRule())
+        assert [f.rule for f in findings] == ["deadline-loop"] * 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+
+class TestBaseline:
+    def _baseline_for(self, root, finding, reason="known debt"):
+        path = root / "tools" / "lint_baseline.json"
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "fingerprint": finding.fingerprint,
+                            "rule": finding.rule,
+                            "path": "src/repro/ec/demo_checker.py",
+                            "reason": reason,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_matched_entry_grandfathers_the_finding(self, fake_tree):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        path = self._baseline_for(root, _one_finding(root))
+        report = run_lint(
+            root, rules=[DeadlineLoopRule()], baseline=Baseline.load(path)
+        )
+        assert report.ok
+        assert report.findings == []
+        assert [f.rule for f in report.grandfathered] == ["deadline-loop"]
+
+    def test_entry_without_reason_is_an_error(self, fake_tree):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        path = self._baseline_for(root, _one_finding(root), reason="  ")
+        report = run_lint(
+            root, rules=[DeadlineLoopRule()], baseline=Baseline.load(path)
+        )
+        assert not report.ok
+        assert [f.rule for f in report.findings] == ["unexplained-baseline"]
+
+    def test_entry_matching_nothing_is_stale(self, fake_tree):
+        # Fixed code must force the baseline to shrink.
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    for op in circ:
+                        _check_deadline(deadline)
+                    return 0
+                """
+            }
+        )
+        path = root / "tools" / "lint_baseline.json"
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "fingerprint": "feedfacedeadbeef",
+                            "rule": "deadline-loop",
+                            "path": "src/repro/ec/demo_checker.py",
+                            "reason": "was fixed since",
+                        }
+                    ],
+                }
+            )
+        )
+        report = run_lint(
+            root, rules=[DeadlineLoopRule()], baseline=Baseline.load(path)
+        )
+        assert not report.ok
+        assert [f.rule for f in report.findings] == ["stale-baseline"]
+
+    def test_write_baseline_leaves_reasons_blank(self, fake_tree, tmp_path):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        finding = _one_finding(root)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding])
+        loaded = Baseline.load(path)
+        assert [e.fingerprint for e in loaded.entries] == [finding.fingerprint]
+        # Blank reasons make a regenerated baseline fail the lint until
+        # a human fills them in.
+        assert loaded.unexplained_entries() == loaded.entries
+
+
+class TestCli:
+    def test_json_report_on_a_clean_tree(self, fake_tree, tmp_path, capsys):
+        root = fake_tree(
+            {
+                "ec/demo_checker.py": """\
+                def run(circ, deadline):
+                    for op in circ:
+                        _check_deadline(deadline)
+                    return 0
+                """
+            }
+        )
+        out = tmp_path / "report.json"
+        code = cli.main(["--root", str(root), "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_json_report_on_a_dirty_tree(self, fake_tree, tmp_path, capsys):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        out = tmp_path / "report.json"
+        code = cli.main(["--root", str(root), "--json", str(out)])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is False
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "deadline-loop" in rules
+        finding = next(
+            f for f in payload["findings"] if f["rule"] == "deadline-loop"
+        )
+        assert finding["line"] == 2
+        assert finding["fingerprint"]
+
+    def test_json_to_stdout_is_pure_json(self, fake_tree, capsys):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        code = cli.main(["--root", str(root), "--json", "-"])
+        assert code == 1
+        captured = capsys.readouterr()
+        # The machine report owns stdout; the human rendering moves to
+        # stderr so ``--json - | jq`` works.
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert "deadline-loop" in captured.err
+
+    def test_missing_root_is_an_operational_error(self, tmp_path, capsys):
+        code = cli.main(["--root", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "no src/repro tree" in capsys.readouterr().err
+
+    def test_write_baseline_round_trip(self, fake_tree, capsys):
+        root = fake_tree({"ec/demo_checker.py": VIOLATION})
+        assert cli.main(["--root", str(root), "--write-baseline"]) == 0
+        # The fresh baseline has blank reasons, so the next run fails
+        # with unexplained-baseline rather than silently passing.
+        assert cli.main(["--root", str(root)]) == 1
+        assert "unexplained-baseline" in capsys.readouterr().out

@@ -1,0 +1,259 @@
+"""Tests for the worklist fixpoint solver and the FOW control-dependence
+construction in :mod:`repro.lint.solver`."""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import EXC, build_cfg
+from repro.lint.solver import control_dependence, postdominators, solve_forward
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    return build_cfg(tree.body[0], "f")
+
+
+def _line_node(cfg, line, kind="stmt"):
+    matches = [n for n in cfg.nodes if n.kind == kind and n.line == line]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def _set_join(a, b):
+    return a | b
+
+
+class TestSolveForward:
+    def test_reaching_assignments(self):
+        # Classic may-analysis: which names have been assigned on some
+        # path reaching each point.
+        cfg = _cfg(
+            "def f(c):\n"
+            "    x = 1\n"
+            "    if c:\n"
+            "        y = 2\n"
+            "    z = 3\n"
+        )
+
+        def transfer(node, state):
+            if isinstance(node.stmt, ast.Assign):
+                names = {
+                    t.id for t in node.stmt.targets if isinstance(t, ast.Name)
+                }
+                return state | frozenset(names)
+            return state
+
+        result = solve_forward(
+            cfg,
+            transfer,
+            _set_join,
+            initial=frozenset(),
+            bottom=frozenset(),
+        )
+        final = _line_node(cfg, 5)
+        # ``y`` is assigned only on the true branch, but this is a may
+        # analysis: the join at line 5 sees it.
+        assert result.at_entry(final) >= {"x", "y"}
+        assert result.at_exit(final) >= {"x", "y", "z"}
+
+    def test_bottom_equal_initial_still_propagates(self):
+        # Regression: with ``initial == bottom`` a naive change-driven
+        # worklist never sees a state change at any successor and the
+        # fixpoint dies at the entry node.  The solver must still visit
+        # every reachable node at least once.
+        cfg = _cfg(
+            "def f():\n"
+            "    a = 1\n"
+            "    b = 2\n"
+            "    return b\n"
+        )
+        visited = set()
+
+        def transfer(node, state):
+            visited.add(node.index)
+            return state
+
+        result = solve_forward(
+            cfg,
+            transfer,
+            _set_join,
+            initial=frozenset(),
+            bottom=frozenset(),
+        )
+        reachable = {cfg.entry.index}
+        frontier = [cfg.entry]
+        while frontier:
+            node = frontier.pop()
+            for succ, _ in node.succs:
+                if succ.index not in reachable:
+                    reachable.add(succ.index)
+                    frontier.append(succ)
+        assert reachable <= visited
+        assert result.iterations >= len(reachable)
+
+    def test_loop_converges_to_fixpoint(self):
+        cfg = _cfg(
+            "def f(items):\n"
+            "    acc = 0\n"
+            "    for x in items:\n"
+            "        acc = acc + x\n"
+            "    return acc\n"
+        )
+
+        def transfer(node, state):
+            if isinstance(node.stmt, ast.Assign):
+                return state | {node.line}
+            return state
+
+        result = solve_forward(
+            cfg, transfer, _set_join, initial=frozenset(), bottom=frozenset()
+        )
+        head = _line_node(cfg, 3)
+        # The back edge feeds the body assignment's effect into the
+        # loop head's entry state.
+        assert 4 in result.at_entry(head)
+        assert result.iterations < 100
+
+    def test_edge_transfer_selects_pre_state_on_exception_edges(self):
+        # An acquisition's exception edge must carry the state from
+        # *before* the acquisition: if ``open`` raises there is nothing
+        # to leak.  The resource rule relies on this shape.
+        cfg = _cfg(
+            "def f(path):\n"
+            "    fh = acquire(path)\n"
+            "    return fh\n"
+        )
+        acq = _line_node(cfg, 2)
+
+        def transfer(node, state):
+            if node.index == acq.index:
+                return state | {"fh"}
+            return state
+
+        def edge_transfer(source, target, kind, pre, post):
+            if kind == EXC and source.index == acq.index:
+                return pre
+            return post
+
+        result = solve_forward(
+            cfg,
+            transfer,
+            _set_join,
+            initial=frozenset(),
+            bottom=frozenset(),
+            edge_transfer=edge_transfer,
+        )
+        # Exceptional exit never saw the handle; the normal path did.
+        assert "fh" not in result.at_entry(cfg.raise_exit)
+        ret = _line_node(cfg, 3)
+        assert "fh" in result.at_entry(ret)
+
+    def test_divergence_raises_instead_of_hanging(self):
+        # The back edge keeps feeding the loop head fresh states.
+        cfg = _cfg(
+            "def f(c):\n"
+            "    while c:\n"
+            "        x = 1\n"
+        )
+        counter = [0]
+
+        def transfer(node, state):
+            # Non-monotone: grows forever.
+            counter[0] += 1
+            return frozenset({counter[0]})
+
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solve_forward(
+                cfg,
+                transfer,
+                _set_join,
+                initial=frozenset(),
+                bottom=frozenset(),
+                max_iterations=50,
+            )
+
+
+class TestPostdominators:
+    def test_join_postdominates_both_arms(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    join = 3\n"
+        )
+        branch = _line_node(cfg, 2)
+        arm_a = _line_node(cfg, 3)
+        arm_b = _line_node(cfg, 5)
+        join = _line_node(cfg, 6)
+        podom = postdominators(cfg)
+        assert join.index in podom[branch.index]
+        assert join.index in podom[arm_a.index]
+        assert join.index in podom[arm_b.index]
+        # Neither arm post-dominates the branch.
+        assert arm_a.index not in podom[branch.index]
+        assert arm_b.index not in podom[branch.index]
+
+    def test_raise_only_function_converges(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    raise ValueError('no normal exit')\n"
+        )
+        podom = postdominators(cfg)
+        raiser = _line_node(cfg, 2)
+        assert podom[raiser.index] == {raiser.index, cfg.raise_exit.index}
+        assert raiser.index in podom[cfg.entry.index]
+
+
+class TestControlDependence:
+    def test_arms_depend_on_branch_join_does_not(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    join = 3\n"
+        )
+        branch = _line_node(cfg, 2)
+        arm_a = _line_node(cfg, 3)
+        arm_b = _line_node(cfg, 5)
+        join = _line_node(cfg, 6)
+        deps = control_dependence(cfg)
+        assert branch.index in deps[arm_a.index]
+        assert branch.index in deps[arm_b.index]
+        assert branch.index not in deps[join.index]
+
+    def test_nested_branches_close_transitively(self):
+        cfg = _cfg(
+            "def f(c, d):\n"
+            "    if c:\n"
+            "        if d:\n"
+            "            deep = 1\n"
+        )
+        outer = _line_node(cfg, 2)
+        inner = _line_node(cfg, 3)
+        deep = _line_node(cfg, 4)
+        deps = control_dependence(cfg)
+        assert inner.index in deps[deep.index]
+        # Transitive closure: what controls the inner branch also
+        # controls the statement inside it.
+        assert outer.index in deps[deep.index]
+
+    def test_return_after_early_exit_loop_depends_on_the_test(self):
+        # The shape the taint rule cares about: a verdict returned only
+        # after a guarded loop completed without tripping the early
+        # exit is control-dependent on the guard.
+        cfg = _cfg(
+            "def f(samples):\n"
+            "    for s in samples:\n"
+            "        if bad(s):\n"
+            "            return False\n"
+            "    return True\n"
+        )
+        guard = _line_node(cfg, 3)
+        verdict = _line_node(cfg, 5)
+        deps = control_dependence(cfg)
+        assert guard.index in deps[verdict.index]

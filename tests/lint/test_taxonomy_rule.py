@@ -1,0 +1,193 @@
+"""Fixture tests for the ``error-taxonomy`` rule."""
+
+from repro.lint.rules import ErrorTaxonomyRule
+
+from tests.lint.conftest import lint_with
+
+
+class TestHandlers:
+    def test_bare_except_is_flagged(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job):
+                    try:
+                        job()
+                    except:
+                        pass
+                """
+            }
+        )
+        findings = lint_with(root, ErrorTaxonomyRule())
+        assert [f.rule for f in findings] == ["error-taxonomy"]
+        assert findings[0].line == 4
+        assert "bare except" in findings[0].message
+
+    def test_swallowing_broad_handler_is_flagged(self, fake_tree):
+        root = fake_tree(
+            {
+                "harness/demo.py": """\
+                def run(job, log):
+                    try:
+                        job()
+                    except Exception as exc:
+                        log.warning("ignored %s", exc)
+                """
+            }
+        )
+        findings = lint_with(root, ErrorTaxonomyRule())
+        assert [f.rule for f in findings] == ["error-taxonomy"]
+        assert findings[0].line == 4
+        assert "swallows" in findings[0].message
+
+    def test_classifying_broad_handler_is_clean(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job):
+                    try:
+                        job()
+                    except Exception as exc:
+                        raise classify_exception(exc)
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_worker_exit_handler_is_clean(self, fake_tree):
+        root = fake_tree(
+            {
+                "harness/demo.py": """\
+                import os
+
+
+                def child_main(job):
+                    try:
+                        job()
+                    except BaseException:
+                        os._exit(70)
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_narrow_handler_is_clean(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job):
+                    try:
+                        job()
+                    except KeyError:
+                        return None
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_handler_in_try_finally_is_reported_once(self, fake_tree):
+        # The finally's synthetic CFG node borrows the Try statement for
+        # location; handlers must still anchor exactly once.
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job, conn):
+                    try:
+                        job()
+                    except:
+                        pass
+                    finally:
+                        conn.close()
+                """
+            }
+        )
+        findings = lint_with(root, ErrorTaxonomyRule())
+        assert [f.rule for f in findings] == ["error-taxonomy"]
+
+
+class TestRaises:
+    def test_ad_hoc_runtime_error_is_flagged(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job):
+                    raise RuntimeError("boom")
+                """
+            }
+        )
+        findings = lint_with(root, ErrorTaxonomyRule())
+        assert [f.rule for f in findings] == ["error-taxonomy"]
+        assert findings[0].line == 2
+        assert "RuntimeError" in findings[0].message
+
+    def test_taxonomy_class_from_repro_errors_is_allowed(self, fake_tree):
+        root = fake_tree(
+            {
+                "errors.py": """\
+                class CheckError(Exception):
+                    pass
+                """,
+                "service/demo.py": """\
+                from repro.errors import CheckError
+
+
+                def run(job):
+                    raise CheckError("classified")
+                """,
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_module_local_exception_class_is_allowed(self, fake_tree):
+        root = fake_tree(
+            {
+                "harness/demo.py": """\
+                class LocalFault(Exception):
+                    pass
+
+
+                def run(job):
+                    raise LocalFault("scoped taxonomy")
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_stdlib_contract_error_is_allowed(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(width):
+                    if width < 1:
+                        raise ValueError("width must be positive")
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+    def test_bare_reraise_is_allowed(self, fake_tree):
+        root = fake_tree(
+            {
+                "service/demo.py": """\
+                def run(job):
+                    try:
+                        job()
+                    except KeyError:
+                        raise
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []
+
+
+class TestScope:
+    def test_checker_packages_are_exempt(self, fake_tree):
+        root = fake_tree(
+            {
+                "ec/demo.py": """\
+                def run(job):
+                    raise RuntimeError("checkers have their own contract")
+                """
+            }
+        )
+        assert lint_with(root, ErrorTaxonomyRule()) == []

@@ -94,7 +94,12 @@ class TestDeadlineLoopRule:
             "    for op in circ:\n"
             "        pass\n",
         )
-        assert [f.rule for f in findings] == ["deadline-loop"]
+        # The loop stays flagged, and the mismatched suppression is now
+        # itself reported as dead.
+        assert sorted(f.rule for f in findings) == [
+            "deadline-loop",
+            "stale-allow",
+        ]
 
 
 class TestSeededRngRule:

@@ -1,476 +1,47 @@
-#!/usr/bin/env python
-"""AST-based lint enforcing repro project invariants.
+#!/usr/bin/env python3
+"""Project-invariant checks — thin wrapper over :mod:`repro.lint`.
 
-Rules (suppress a finding with ``# repro: allow(rule-id): reason`` on the
-flagged line or the line directly above it — the reason is mandatory):
+The actual engine (CFG construction, dataflow solver, rules,
+suppressions, baseline) lives in ``src/repro/lint`` where it is
+imported, typed, and unit-tested like any other package.  This script
+only bootstraps ``sys.path`` and preserves the historical entry points:
 
-``deadline-loop``
-    Every ``for``/``while`` loop in the checker hot paths
-    (``src/repro/ec/*_checker.py``, ``src/repro/zx/simplify.py``) must
-    consult the cooperative deadline — reference ``deadline`` somewhere
-    in its body (typically ``_check_deadline(deadline)`` or a callee
-    that takes it).  Loops inside functions that have no ``deadline``
-    in scope are exempt (helpers that cannot time out by design), as
-    are trivially bounded loops over an operation's own qubits.
-
-``seeded-rng``
-    No unseeded randomness outside ``fuzz/generator.py``: flags
-    ``random.Random()`` with no arguments, module-level ``random.*``
-    draws, and ``np.random`` usage.  Reproducibility of every check and
-    every campaign is a project invariant.
-
-``counter-namespace``
-    ``counters.count("ns.name")`` / ``perf.count(...)`` calls must use a
-    name whose first dotted component is registered in
-    ``repro.perf.counters.COUNTER_NAMESPACES`` — dashboards never meet
-    an unreviewed counter family.
-
-``no-wallclock``
-    ``time.time()`` is banned in the pure algorithmic layers
-    (``circuit``, ``dd``, ``zx``, ``stab``, ``analysis``): wall-clock
-    reads belong to the harness/manager layer; pure code takes deadlines
-    as parameters and uses ``perf_counter``/``monotonic`` only via them.
-
-``no-fork``
-    Process creation — ``os.fork``/``os.forkpty``, ``subprocess.*``
-    spawns, ``multiprocessing`` ``Process``/``get_context``/``Pool`` —
-    is banned outside ``repro/harness/`` and the supervised worker pool
-    (``repro/service/pool.py``): every child the project creates must go
-    through the sandbox/racer or the pool supervisor so it gets resource
-    limits, hard kill budgets and zombie-free reaping.  (Read-only
-    ``multiprocessing`` queries such as ``active_children`` are fine.)
-
-``no-object-dd``
-    The array-native DD modules (``dd/array_*.py``) must never
-    construct the legacy node/edge objects (``VNode``/``MNode``/
-    ``VEdge``/``MEdge``): handles and packed integer edges are the
-    whole point, and one stray object allocation in a kernel hot loop
-    silently gives the speedup back.  Legacy-interop shims must carry
-    an explicit suppression.
-
-Exit code 0 when the tree is clean, 1 when any unsuppressed finding
-remains.  Run as ``python tools/check_repro.py [--root DIR]``.
+``run_checks(root) -> List[Finding]``
+    Post-suppression findings (including ``stale-allow``), no baseline.
+``main(argv) -> int``
+    The CLI: exit 0 on a clean tree, 1 on findings.  See
+    ``python tools/check_repro.py --help`` for ``--json``, ``--baseline``
+    and friends.
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
-import re
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional
 
-_ALLOW_RE = re.compile(
-    r"#\s*repro:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)"
-)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(_REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-#: Algorithmic packages where wall-clock reads are banned.
-_PURE_PACKAGES = ("circuit", "dd", "zx", "stab", "analysis")
-
-#: Receiver names treated as PerfCounters instances for rule 3.
-_COUNTER_RECEIVERS = {"counters", "perf", "perf_counters"}
-
-
-class Finding:
-    """One rule violation at a source location."""
-
-    def __init__(self, path: Path, line: int, rule: str, message: str) -> None:
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _allows(source_lines: Sequence[str], line: int) -> Dict[int, str]:
-    """Map of rule suppressions applicable to ``line`` (1-indexed)."""
-    rules: Dict[int, str] = {}
-    for candidate in (line, line - 1):
-        if 1 <= candidate <= len(source_lines):
-            match = _ALLOW_RE.search(source_lines[candidate - 1])
-            if match:
-                rules[candidate] = match.group(1)
-    return rules
-
-
-def _is_suppressed(
-    source_lines: Sequence[str], line: int, rule: str
-) -> bool:
-    return rule in _allows(source_lines, line).values()
-
-
-def _names_in(node: ast.AST) -> Set[str]:
-    return {
-        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
-    }
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """Render ``a.b.c`` attribute chains; None for anything else."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-# ----------------------------------------------------------------------
-# Rule 1: deadline-loop
-# ----------------------------------------------------------------------
-def _function_scopes(
-    tree: ast.AST,
-) -> Iterator[Tuple[ast.AST, Set[str]]]:
-    """Yield (function node, parameter names) for every def in the tree."""
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            args = node.args
-            names = {
-                a.arg
-                for a in (
-                    list(args.posonlyargs)
-                    + list(args.args)
-                    + list(args.kwonlyargs)
-                )
-            }
-            yield node, names
-
-
-def check_deadline_loops(
-    path: Path, tree: ast.AST, source_lines: Sequence[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for function, params in _function_scopes(tree):
-        if "deadline" not in params:
-            continue
-        # Loops belonging to *nested* functions are judged in their own
-        # scope, so collect the direct loop statements of this function.
-        nested: Set[int] = set()
-        for child in ast.walk(function):
-            if (
-                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and child is not function
-            ):
-                for grand in ast.walk(child):
-                    nested.add(id(grand))
-        for node in ast.walk(function):
-            if id(node) in nested or not isinstance(
-                node, (ast.For, ast.While)
-            ):
-                continue
-            if "deadline" in _names_in(node):
-                continue
-            if _is_suppressed(source_lines, node.lineno, "deadline-loop"):
-                continue
-            findings.append(
-                Finding(
-                    path,
-                    node.lineno,
-                    "deadline-loop",
-                    "loop in a deadline-scoped function never consults "
-                    "the cooperative deadline",
-                )
-            )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Rule 2: seeded-rng
-# ----------------------------------------------------------------------
-#: Module-level ``random.*`` draws that consume the global (unseeded) RNG.
-_GLOBAL_RANDOM_FUNCS = {
-    "random", "randint", "randrange", "uniform", "choice", "choices",
-    "shuffle", "sample", "gauss", "normalvariate", "getrandbits", "betavariate",
-}
-
-
-def check_seeded_rng(
-    path: Path, tree: ast.AST, source_lines: Sequence[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        dotted = _dotted(node.func)
-        if dotted is None:
-            continue
-        message = None
-        if dotted == "random.Random" and not node.args and not node.keywords:
-            message = "random.Random() without a seed"
-        elif (
-            dotted.startswith("np.random.") or dotted.startswith("numpy.random.")
-        ):
-            message = f"{dotted}: use a seeded np.random.Generator instead"
-        elif (
-            dotted.startswith("random.")
-            and dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FUNCS
-        ):
-            message = f"{dotted}: draws from the global unseeded RNG"
-        if message is None:
-            continue
-        if _is_suppressed(source_lines, node.lineno, "seeded-rng"):
-            continue
-        findings.append(Finding(path, node.lineno, "seeded-rng", message))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Rule 3: counter-namespace
-# ----------------------------------------------------------------------
-def load_counter_namespaces(root: Path) -> Tuple[str, ...]:
-    """Parse ``COUNTER_NAMESPACES`` out of repro/perf/counters.py statically."""
-    counters_path = root / "src" / "repro" / "perf" / "counters.py"
-    tree = ast.parse(counters_path.read_text())
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets = [
-                t.id for t in node.targets if isinstance(t, ast.Name)
-            ]
-            if "COUNTER_NAMESPACES" in targets:
-                value = ast.literal_eval(node.value)
-                return tuple(str(item) for item in value)
-    raise SystemExit(
-        f"COUNTER_NAMESPACES not found in {counters_path}"
-    )
-
-
-def check_counter_namespaces(
-    path: Path,
-    tree: ast.AST,
-    source_lines: Sequence[str],
-    namespaces: Tuple[str, ...],
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if not (isinstance(func, ast.Attribute) and func.attr == "count"):
-            continue
-        receiver = func.value
-        receiver_name = None
-        if isinstance(receiver, ast.Name):
-            receiver_name = receiver.id
-        elif isinstance(receiver, ast.Attribute):
-            receiver_name = receiver.attr
-        if receiver_name not in _COUNTER_RECEIVERS:
-            continue
-        if not node.args or not isinstance(node.args[0], ast.Constant):
-            continue
-        name = node.args[0].value
-        if not isinstance(name, str):
-            continue
-        namespace = name.split(".", 1)[0]
-        if namespace in namespaces:
-            continue
-        if _is_suppressed(source_lines, node.lineno, "counter-namespace"):
-            continue
-        findings.append(
-            Finding(
-                path,
-                node.lineno,
-                "counter-namespace",
-                f"counter {name!r} uses unregistered namespace "
-                f"{namespace!r} (register it in "
-                "repro.perf.counters.COUNTER_NAMESPACES)",
-            )
-        )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Rule 4: no-wallclock
-# ----------------------------------------------------------------------
-def check_no_wallclock(
-    path: Path, tree: ast.AST, source_lines: Sequence[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        if _dotted(node.func) != "time.time":
-            continue
-        if _is_suppressed(source_lines, node.lineno, "no-wallclock"):
-            continue
-        findings.append(
-            Finding(
-                path,
-                node.lineno,
-                "no-wallclock",
-                "time.time() in a pure algorithmic module; take a "
-                "deadline parameter instead",
-            )
-        )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Rule 5: no-fork
-# ----------------------------------------------------------------------
-#: Call chains that create a child process.  Matched against the dotted
-#: rendering of the call target, so aliased imports (``import os as o``)
-#: slip through — acceptable for a project-invariant lint; the idiom in
-#: this tree is plain ``import os`` / ``import multiprocessing``.
-_FORK_CALLS = {
-    "os.fork": "os.fork()",
-    "os.forkpty": "os.forkpty()",
-    "os.posix_spawn": "os.posix_spawn()",
-    "os.system": "os.system()",
-    "subprocess.Popen": "subprocess.Popen()",
-    "subprocess.run": "subprocess.run()",
-    "subprocess.call": "subprocess.call()",
-    "subprocess.check_call": "subprocess.check_call()",
-    "subprocess.check_output": "subprocess.check_output()",
-    "multiprocessing.Process": "multiprocessing.Process()",
-    "multiprocessing.Pool": "multiprocessing.Pool()",
-    "multiprocessing.get_context": "multiprocessing.get_context()",
-}
-
-#: Bare-name process constructors (``from multiprocessing import Process``).
-_FORK_NAMES = {"Process", "Pool", "get_context"}
-
-
-def check_no_fork(
-    path: Path, tree: ast.AST, source_lines: Sequence[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        dotted = _dotted(node.func)
-        message = None
-        if dotted in _FORK_CALLS:
-            message = f"{_FORK_CALLS[dotted]} outside repro.harness"
-        elif (
-            dotted is not None
-            and dotted.split(".")[-1] in _FORK_NAMES
-            and len(dotted.split(".")) <= 2
-            and (
-                dotted in _FORK_NAMES
-                or dotted.split(".")[0] in ("mp", "multiprocessing", "ctx")
-            )
-        ):
-            message = f"{dotted}() spawns a process outside repro.harness"
-        if message is None:
-            continue
-        if _is_suppressed(source_lines, node.lineno, "no-fork"):
-            continue
-        findings.append(
-            Finding(
-                path,
-                node.lineno,
-                "no-fork",
-                message
-                + " (route child processes through the sandbox/racer "
-                "in repro.harness)",
-            )
-        )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Rule 6: no-object-dd
-# ----------------------------------------------------------------------
-#: Legacy object-engine constructors banned in the array DD modules.
-_OBJECT_DD_NAMES = {"VNode", "MNode", "VEdge", "MEdge"}
-
-
-def check_no_object_dd(
-    path: Path, tree: ast.AST, source_lines: Sequence[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        dotted = _dotted(node.func)
-        if dotted is None or dotted.split(".")[-1] not in _OBJECT_DD_NAMES:
-            continue
-        if _is_suppressed(source_lines, node.lineno, "no-object-dd"):
-            continue
-        findings.append(
-            Finding(
-                path,
-                node.lineno,
-                "no-object-dd",
-                f"{dotted}() allocates a legacy DD object in an "
-                "array-native module; use handles and packed integer "
-                "edges",
-            )
-        )
-    return findings
-
-
-# ----------------------------------------------------------------------
-def _iter_python_files(root: Path) -> Iterator[Path]:
-    yield from sorted((root / "src" / "repro").rglob("*.py"))
+from repro.lint import Finding  # noqa: E402,F401  (re-exported for callers)
+from repro.lint import run_checks as _run_checks  # noqa: E402
+from repro.lint.cli import main as _main  # noqa: E402
 
 
 def run_checks(root: Path) -> List[Finding]:
-    namespaces = load_counter_namespaces(root)
-    findings: List[Finding] = []
-    for path in _iter_python_files(root):
-        source = path.read_text()
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(path, exc.lineno or 0, "syntax", str(exc))
-            )
-            continue
-        lines = source.splitlines()
-        relative = path.relative_to(root / "src" / "repro")
-        parts = relative.parts
-        is_checker_hot_path = (
-            len(parts) == 2
-            and parts[0] == "ec"
-            and parts[1].endswith("_checker.py")
-        ) or relative.as_posix() == "zx/simplify.py"
-        if is_checker_hot_path:
-            findings.extend(check_deadline_loops(path, tree, lines))
-        if relative.as_posix() != "fuzz/generator.py":
-            findings.extend(check_seeded_rng(path, tree, lines))
-        findings.extend(
-            check_counter_namespaces(path, tree, lines, namespaces)
-        )
-        if parts[0] in _PURE_PACKAGES:
-            findings.extend(check_no_wallclock(path, tree, lines))
-        # The supervised worker pool is the one non-harness module that
-        # legitimately owns child processes: it reuses the sandbox's
-        # limits and start-method and adds its own reaping/audit layer.
-        if parts[0] != "harness" and relative.as_posix() != "service/pool.py":
-            findings.extend(check_no_fork(path, tree, lines))
-        if parts[0] == "dd" and parts[-1].startswith("array_"):
-            findings.extend(check_no_object_dd(path, tree, lines))
-    return findings
+    """Historic API: all post-suppression findings under ``root``."""
+    return _run_checks(root)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root",
-        default=str(Path(__file__).resolve().parent.parent),
-        help="repository root (containing src/repro)",
-    )
-    args = parser.parse_args(argv)
-    root = Path(args.root)
-    findings = run_checks(root)
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(
-            f"check_repro: {len(findings)} finding(s); fix or suppress "
-            "with '# repro: allow(rule): reason'",
-            file=sys.stderr,
-        )
-        return 1
-    print("check_repro: clean")
-    return 0
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    has_root = any(a == "--root" or a.startswith("--root=") for a in args)
+    if not has_root:
+        args = ["--root", str(_REPO_ROOT)] + args
+    return _main(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())
